@@ -1,0 +1,301 @@
+(** The benchmark harness: one section per paper table/figure, plus
+    ablations of design choices called out in DESIGN.md.
+
+    Run with: [dune exec bench/main.exe]
+
+    Sections:
+    - Fig 2b / 3b / 4b: the three motivating diagnostics, regenerated;
+    - Fig 9 / 10: the Bevy views and the inertia pipeline;
+    - Fig 11: the (simulated) user study with all reported statistics;
+    - Fig 12a: distance-to-root-cause, inertia vs baselines vs rustc;
+    - Fig 12b: DNF normalization time vs inference-tree size;
+    - ablations: eager vs lazy DNF minimization (Bechamel), solver
+      depth-limit sweep, end-to-end solve cost per corpus program,
+      heuristic ranking cost, inertia weight sensitivity. *)
+
+open Trait_lang
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let now_ns () = Monotonic_clock.clock_linux_get_time ()
+
+(** Median wall-clock nanoseconds of [f], over [runs] runs. *)
+let time_median ?(runs = 21) f =
+  let samples =
+    List.init runs (fun _ ->
+        let t0 = now_ns () in
+        ignore (Sys.opaque_identity (f ()));
+        Int64.to_float (Int64.sub (now_ns ()) t0))
+  in
+  Stats.Descriptive.median samples
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing *)
+
+let run_bechamel ?(quota = 0.3) (tests : Bechamel.Test.t) =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
+let print_bechamel_rows rows =
+  List.iter
+    (fun (name, ns) ->
+      if ns < 1e3 then Printf.printf "  %-52s %8.1f ns/run\n" name ns
+      else if ns < 1e6 then Printf.printf "  %-52s %8.2f us/run\n" name (ns /. 1e3)
+      else Printf.printf "  %-52s %8.2f ms/run\n" name (ns /. 1e6))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 2b / 3b / 4b: the motivating diagnostics *)
+
+let fig_motivating () =
+  section "Fig 2b / 3b / 4b — motivating diagnostics (baseline renderer)";
+  List.iter
+    (fun id ->
+      let e = Option.get (Corpus.Suite.find id) in
+      let program, tree = Corpus.Harness.failed_tree e in
+      let goal = List.hd (Program.goals program) in
+      Printf.printf "\n--- %s ---\n" e.title;
+      print_string
+        (Rustc_diag.Diagnostic.to_string (Rustc_diag.Diagnostic.of_tree program goal tree)))
+    [ "diesel-missing-join"; "ast-overflow"; "bevy-errant-param" ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 9 / 10: the Bevy views and the inertia pipeline *)
+
+let fig_bevy_views () =
+  section "Fig 9 / 10 — Argus views and the inertia pipeline on Bevy";
+  let e = Option.get (Corpus.Suite.find "bevy-errant-param") in
+  let _, tree = Corpus.Harness.failed_tree e in
+  print_endline "\nBottom-up (Fig 9a):";
+  print_endline (Argus.Render.tree_to_string ~direction:Argus.View_state.Bottom_up tree);
+  print_endline "\nInertia pipeline (Fig 10):";
+  let ranking = Argus.Inertia.rank tree in
+  List.iter
+    (fun (s : Argus.Inertia.scored_set) ->
+      Printf.printf "  MCS score %2d: %s\n" s.total
+        (String.concat " & "
+           (List.map
+              (fun (p, _, _, w) -> Printf.sprintf "%s [w=%d]" (Pretty.predicate p) w)
+              s.predicates)))
+    ranking.sets
+
+(* ------------------------------------------------------------------ *)
+(* Fig 11: the user study *)
+
+let fig11 () =
+  section "Fig 11 — user study (simulated participants, N=25, seed 42)";
+  let d = Study.Simulate.run ~seed:42 () in
+  print_endline (Study.Analyze.to_string (Study.Analyze.analyze d));
+  print_endline "\npaper reference: loc 84% vs 38% (chi=22.24); loc time 3m03s vs 9m58s";
+  print_endline "                 fix 50% vs 32% (chi=3.35);  fix time 8m07s vs 10m00s";
+  print_endline "\nper-task breakdown:";
+  print_endline (Study.Analyze.per_task_to_string (Study.Analyze.per_task d))
+
+(* ------------------------------------------------------------------ *)
+(* Fig 12a: distance to the root cause *)
+
+let fig12a () =
+  section "Fig 12a — distance from the report to the root cause (17-program suite)";
+  let rankers = Argus.Heuristics.all in
+  let rows =
+    List.map
+      (fun (e : Corpus.Harness.entry) ->
+        let program, tree = Corpus.Harness.failed_tree e in
+        let rc = Corpus.Harness.root_cause_pred e in
+        let heuristic_ranks =
+          List.map
+            (fun (r : Argus.Heuristics.ranker) ->
+              Option.value ~default:(-1)
+                (Argus.Heuristics.rank_of_root_cause r tree ~root_cause:rc))
+            rankers
+        in
+        let goal = List.hd (Program.goals program) in
+        let diag = Rustc_diag.Diagnostic.of_tree program goal tree in
+        let rustc =
+          Option.value ~default:(-1)
+            (Rustc_diag.Diagnostic.distance_to_root_cause tree diag ~root_cause:rc)
+        in
+        (e.id, heuristic_ranks @ [ rustc ]))
+      Corpus.Suite.entries
+  in
+  let headers =
+    List.map (fun (r : Argus.Heuristics.ranker) -> r.name) rankers @ [ "rustc" ]
+  in
+  Printf.printf "%-28s" "program";
+  List.iter (Printf.printf " %19s") headers;
+  print_newline ();
+  List.iter
+    (fun (id, vals) ->
+      Printf.printf "%-28s" id;
+      List.iter (Printf.printf " %19d") vals;
+      print_newline ())
+    rows;
+  (* medians, the §5.2.2 headline: 0 / 1 / 1 / 2 in the paper *)
+  let columns = List.length headers in
+  Printf.printf "%-28s" "MEDIAN";
+  for c = 0 to columns - 1 do
+    let col = List.map (fun (_, vals) -> float_of_int (List.nth vals c)) rows in
+    Printf.printf " %19.1f" (Stats.Descriptive.median col)
+  done;
+  print_newline ();
+  print_endline "paper medians: inertia 0, predicate depth 1, inference vars 1, rustc 2"
+
+(* ------------------------------------------------------------------ *)
+(* Fig 12b: DNF normalization time vs tree size *)
+
+let fig12b () =
+  section "Fig 12b — DNF normalization time vs inference-tree size";
+  (* the corpus trees (the paper's real data points)... *)
+  let corpus_points =
+    List.map
+      (fun (e : Corpus.Harness.entry) ->
+        let _, tree = Corpus.Harness.failed_tree e in
+        (e.id, tree))
+      Corpus.Suite.entries
+  in
+  (* ...plus synthetic trees up to the paper's max of 36,794 nodes *)
+  let synthetic_points =
+    List.map
+      (fun n -> (Printf.sprintf "synthetic-%d" n, Argus.Synthetic.of_size n))
+      [ 10; 100; 500; 1000; 2554; 5000; 10000; 20000; 36794 ]
+  in
+  Printf.printf "%-28s %10s %12s %10s\n" "tree" "goals" "time" "conjuncts";
+  let times = ref [] in
+  List.iter
+    (fun (name, tree) ->
+      let goals = Argus.Proof_tree.goal_count tree in
+      let dnf_of () =
+        let f, _ = Argus.Formula.of_tree tree in
+        Argus.Dnf.of_formula f
+      in
+      let ns = time_median dnf_of in
+      times := (goals, ns) :: !times;
+      let d = dnf_of () in
+      Printf.printf "%-28s %10d %10.3fms %10d\n" name goals (ns /. 1e6)
+        (Argus.Dnf.num_conjuncts d))
+    (corpus_points @ synthetic_points);
+  let ms = List.map (fun (_, ns) -> ns /. 1e6) !times in
+  Printf.printf
+    "median %.3fms, max %.3fms (paper: median 0.1ms, max 6.1ms; trees 1..36,794 nodes)\n"
+    (Stats.Descriptive.median ms)
+    (snd (Stats.Descriptive.min_max ms))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let ablation_dnf_minimization () =
+  section "Ablation — eager vs lazy DNF minimization (Bechamel)";
+  let tree = Argus.Synthetic.of_size 2554 in
+  let f, _ = Argus.Formula.of_tree tree in
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"dnf"
+      [
+        Test.make ~name:"minimize-eagerly" (Staged.stage (fun () -> Argus.Dnf.of_formula f));
+        Test.make ~name:"minimize-at-end"
+          (Staged.stage (fun () ->
+               Argus.Dnf.of_formula ~cfg:{ Argus.Dnf.minimize_eagerly = false } f));
+      ]
+  in
+  print_bechamel_rows (run_bechamel tests)
+
+let ablation_solver_cost () =
+  section "Ablation — end-to-end solve cost per corpus program (Bechamel)";
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"solve"
+      (List.filter_map
+         (fun id ->
+           Option.map
+             (fun (e : Corpus.Harness.entry) ->
+               let program = Corpus.Harness.load e in
+               Test.make ~name:e.id
+                 (Staged.stage (fun () -> Solver.Obligations.solve_program program)))
+             (Corpus.Suite.find id))
+         [ "diesel-missing-join"; "bevy-errant-param"; "axum-body-first"; "ast-overflow" ])
+  in
+  print_bechamel_rows (run_bechamel tests)
+
+let ablation_depth_limit () =
+  section "Ablation — solver depth-limit sweep on a growing recursion";
+  let src =
+    "struct A; struct W<X>; trait T {} impl<X> T for W<X> where W<W<X>>: T {} goal W<A>: T;"
+  in
+  let program = Resolve.program_of_string ~file:"sweep.rs" src in
+  List.iter
+    (fun depth_limit ->
+      let cfg = { Solver.Solve.default_config with depth_limit } in
+      let ns = time_median (fun () -> Solver.Obligations.solve_program ~cfg program) in
+      let report = Solver.Obligations.solve_program ~cfg program in
+      let tree_size = Solver.Trace.size (List.hd report.reports).final in
+      Printf.printf "  depth limit %3d: tree %5d nodes, %8.3f ms\n" depth_limit tree_size
+        (ns /. 1e6))
+    [ 8; 16; 24; 32; 48 ]
+
+let ablation_ranking_cost () =
+  section "Ablation — ranking-heuristic cost on the Bevy tree (Bechamel)";
+  let e = Option.get (Corpus.Suite.find "bevy-errant-param") in
+  let _, tree = Corpus.Harness.failed_tree e in
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"rank"
+      (List.map
+         (fun (r : Argus.Heuristics.ranker) ->
+           Test.make ~name:r.name (Staged.stage (fun () -> r.rank tree)))
+         Argus.Heuristics.all)
+  in
+  print_bechamel_rows (run_bechamel tests)
+
+let ablation_inertia_weight_sensitivity () =
+  section "Ablation — ranking quality over the suite (median/mean root-cause rank)";
+  let invert : Argus.Heuristics.ranker =
+    { name = "inertia inverted"; rank = (fun tree -> List.rev (Argus.Heuristics.by_inertia.rank tree)) }
+  in
+  let rankers = Argus.Heuristics.all @ [ invert; Argus.Heuristics.unsorted ] in
+  List.iter
+    (fun (r : Argus.Heuristics.ranker) ->
+      let ranks =
+        List.map
+          (fun (e : Corpus.Harness.entry) ->
+            let _, tree = Corpus.Harness.failed_tree e in
+            let rc = Corpus.Harness.root_cause_pred e in
+            float_of_int
+              (Option.value ~default:99
+                 (Argus.Heuristics.rank_of_root_cause r tree ~root_cause:rc)))
+          Corpus.Suite.entries
+      in
+      Printf.printf "  %-22s median rank %4.1f   mean rank %5.2f\n" r.name
+        (Stats.Descriptive.median ranks)
+        (Stats.Descriptive.mean ranks))
+    rankers
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  print_endline "Argus-ML benchmark harness — regenerating every paper table/figure";
+  fig_motivating ();
+  fig_bevy_views ();
+  fig11 ();
+  fig12a ();
+  fig12b ();
+  ablation_dnf_minimization ();
+  ablation_solver_cost ();
+  ablation_depth_limit ();
+  ablation_ranking_cost ();
+  ablation_inertia_weight_sensitivity ();
+  print_endline "\ndone."

@@ -1,0 +1,545 @@
+(** The Argus command-line interface.
+
+    The paper ships Argus as a VS Code extension; the terminal is our
+    embedding of the same view machinery (the paper notes the interface
+    "can also be embedded in other contexts").  Subcommands:
+
+    - [check]: solve a .trait file, print per-goal status and the
+      rustc-style diagnostic for failures (the baseline experience);
+    - [bottom-up] / [top-down]: the Argus views, fully expanded;
+    - [inertia]: the MCSes and ranked root-cause candidates;
+    - [diag]: only the compiler-style diagnostic;
+    - [json]: the serialized report for external tooling;
+    - [corpus]: list or run the bundled evaluation programs;
+    - [study]: run the simulated user study;
+    - [interactive]: drive the view state machine with expand/collapse/
+      hover commands, as the IDE extension would. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program path =
+  try Ok (Trait_lang.Resolve.program_of_string ~file:path (read_file path)) with
+  | Trait_lang.Parser.Error e ->
+      Error
+        (Printf.sprintf "%s: parse error: %s" (Trait_lang.Span.to_string e.span) e.message)
+  | Trait_lang.Resolve.Error e ->
+      Error
+        (Printf.sprintf "%s: %s"
+           (Trait_lang.Span.to_string (Trait_lang.Resolve.error_span e))
+           (Trait_lang.Resolve.error_message e))
+  | Sys_error m -> Error m
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"L_TRAIT source file")
+
+let show_all_arg =
+  Arg.(
+    value & flag
+    & info [ "show-all-predicates" ]
+        ~doc:"Show compiler-internal and stateful predicates (the §4 toggle).")
+
+let ranker_arg =
+  let rankers =
+    [ ("inertia", `Inertia); ("depth", `Depth); ("vars", `Vars); ("none", `None) ]
+  in
+  Arg.(
+    value
+    & opt (enum rankers) `Inertia
+    & info [ "ranker" ] ~doc:"Bottom-up ordering heuristic: inertia, depth, vars, none.")
+
+let ranker_of = function
+  | `Inertia -> Argus.Heuristics.by_inertia
+  | `Depth -> Argus.Heuristics.by_depth
+  | `Vars -> Argus.Heuristics.by_infer_vars
+  | `None -> Argus.Heuristics.unsorted
+
+let solve_file path =
+  let program = or_die (load_program path) in
+  (program, Solver.Obligations.solve_program program)
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+let check_cmd =
+  let run file no_coherence =
+    let program, report = solve_file file in
+    let issues = ref 0 in
+    (* declaration-level checks first: overlap, orphan rule, impl WF *)
+    if not no_coherence then begin
+      List.iter
+        (fun (o : Solver.Coherence.overlap) ->
+          incr issues;
+          Printf.printf
+            "error[E0119]: conflicting implementations of trait `%s` for type `%s`\n"
+            (Trait_lang.Path.name o.trait_)
+            (Trait_lang.Pretty.ty o.witness))
+        (Solver.Coherence.check program);
+      List.iter
+        (fun (o : Solver.Coherence.orphan) ->
+          incr issues;
+          Printf.printf
+            "error[E0117]: only traits defined in the current crate can be implemented \
+             for arbitrary types (`%s` for `%s` at %s)\n"
+            (Trait_lang.Path.to_string o.o_trait)
+            (Trait_lang.Pretty.ty o.o_self)
+            (Trait_lang.Span.to_string o.o_impl.impl_span))
+        (Solver.Coherence.orphan_violations program);
+      List.iter
+        (fun (f : Solver.Coherence.wf_failure) ->
+          incr issues;
+          Printf.printf
+            "error[E0277]: the associated type binding `%s` does not satisfy `%s` (%s)\n"
+            f.wf_assoc
+            (Trait_lang.Pretty.trait_ref f.wf_bound)
+            (Trait_lang.Span.to_string f.wf_impl.impl_span))
+        (Solver.Coherence.check_impl_wf program)
+    end;
+    let print_goal_report (r : Solver.Obligations.goal_report) =
+      let status =
+        match r.status with
+        | Solver.Obligations.Proved -> "ok"
+        | Solver.Obligations.Disproved -> "ERROR"
+        | Solver.Obligations.Ambiguous -> "AMBIGUOUS"
+      in
+      Printf.printf "[%s] %s\n" status (Trait_lang.Pretty.predicate r.final.pred);
+      if r.status <> Solver.Obligations.Proved then begin
+        incr issues;
+        let tree = Argus.Extract.of_report r in
+        (* report the goal as the solver last saw it (inference holes
+           filled in), not as the source wrote it *)
+        let goal = { r.goal with Trait_lang.Program.goal_pred = r.final.pred } in
+        let diag = Rustc_diag.Diagnostic.of_tree program goal tree in
+        print_newline ();
+        print_string (Rustc_diag.Diagnostic.to_string diag);
+        print_newline ()
+      end
+    in
+    List.iter print_goal_report report.reports;
+    (* type-check fn bodies: the obligations they generate run through
+       the same machinery *)
+    let tc = Typeck.Infer.check_program program in
+    List.iter
+      (fun (fr : Typeck.Infer.fn_report) ->
+        Printf.printf "fn %s:\n" (Trait_lang.Path.name fr.fr_fn.fn_path);
+        List.iter
+          (fun (e : Typeck.Infer.type_error) ->
+            incr issues;
+            Printf.printf "error[E0308]: %s\n  --> %s\n" e.te_message
+              (Trait_lang.Span.to_string e.te_span))
+          fr.fr_type_errors;
+        List.iter
+          (fun (p : Typeck.Infer.probe) ->
+            if p.p_chosen = None then begin
+              incr issues;
+              Printf.printf
+                "error[E0599]: no method named `%s` found for `%s`; probed candidates:\n"
+                p.p_method
+                (Trait_lang.Pretty.ty p.p_recv_ty);
+              List.iter
+                (fun tree ->
+                  print_endline
+                    (Argus.Render.tree_to_string ~direction:Argus.View_state.Top_down tree))
+                (Argus.Extract.of_probe p.p_nodes)
+            end)
+          fr.fr_probes;
+        List.iter print_goal_report fr.fr_obligations)
+      tc.fr_fns;
+    if !issues = 0 then exit 0 else exit 1
+  in
+  let no_coherence =
+    Arg.(value & flag & info [ "no-coherence" ] ~doc:"Skip overlap/orphan/WF checks.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Type-check a file: coherence, orphan rule, impl WF, and all goals")
+    Term.(const run $ file_arg $ no_coherence)
+
+(* ------------------------------------------------------------------ *)
+(* views *)
+
+let view_cmd name direction =
+  let run file show_all ranker =
+    let _, report = solve_file file in
+    List.iter
+      (fun (r : Solver.Obligations.goal_report) ->
+        if r.status <> Solver.Obligations.Proved then begin
+          let tree = Argus.Extract.of_report r in
+          print_endline
+            (Argus.Render.tree_to_string ~direction ~ranker:(ranker_of ranker)
+               ~show_all_predicates:show_all tree);
+          print_newline ()
+        end)
+      report.reports
+  in
+  Cmd.v
+    (Cmd.info name ~doc:(Printf.sprintf "Print the %s view of each failing goal" name))
+    Term.(const run $ file_arg $ show_all_arg $ ranker_arg)
+
+let bottom_up_cmd = view_cmd "bottom-up" Argus.View_state.Bottom_up
+let top_down_cmd = view_cmd "top-down" Argus.View_state.Top_down
+
+(* ------------------------------------------------------------------ *)
+(* diag *)
+
+let diag_cmd =
+  let run file =
+    let program, report = solve_file file in
+    List.iter
+      (fun (r : Solver.Obligations.goal_report) ->
+        if r.status <> Solver.Obligations.Proved then
+          print_string
+            (Rustc_diag.Diagnostic.to_string
+               (Rustc_diag.Diagnostic.of_tree program r.goal (Argus.Extract.of_report r))))
+      report.reports
+  in
+  Cmd.v (Cmd.info "diag" ~doc:"Print rustc-style diagnostics (the baseline)")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* inertia *)
+
+let inertia_cmd =
+  let run file =
+    let _, report = solve_file file in
+    List.iter
+      (fun (r : Solver.Obligations.goal_report) ->
+        if r.status <> Solver.Obligations.Proved then begin
+          let tree = Argus.Extract.of_report r in
+          let ranking = Argus.Inertia.rank tree in
+          Printf.printf "goal: %s\n" (Trait_lang.Pretty.predicate r.goal.goal_pred);
+          Printf.printf "minimum correction subsets (%d):\n" (List.length ranking.sets);
+          List.iter
+            (fun (s : Argus.Inertia.scored_set) ->
+              Printf.printf "  score %2d: %s\n" s.total
+                (String.concat " AND "
+                   (List.map
+                      (fun (p, _, _, w) ->
+                        Printf.sprintf "%s [w=%d]" (Trait_lang.Pretty.predicate p) w)
+                      s.predicates)))
+            ranking.sets;
+          print_endline "ranked root-cause candidates:";
+          List.iteri
+            (fun i (n : Argus.Proof_tree.node) ->
+              match n.kind with
+              | Argus.Proof_tree.Goal g ->
+                  Printf.printf "  %d. %s\n" i (Trait_lang.Pretty.predicate g.pred)
+              | _ -> ())
+            (Argus.Inertia.sorted_leaves tree)
+        end)
+      report.reports
+  in
+  Cmd.v (Cmd.info "inertia" ~doc:"Print MCSes and the inertia ranking")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* json *)
+
+let json_cmd =
+  let run file =
+    let _, report = solve_file file in
+    print_endline (Argus_json.Json.to_string_pretty (Argus_json.Encode.report report))
+  in
+  Cmd.v (Cmd.info "json" ~doc:"Serialize the solving report as JSON")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* html *)
+
+let html_cmd =
+  let run file out =
+    let program, report = solve_file file in
+    match
+      List.find_opt
+        (fun (r : Solver.Obligations.goal_report) -> r.status <> Solver.Obligations.Proved)
+        report.reports
+    with
+    | None -> print_endline "no trait errors — nothing to render"
+    | Some r ->
+        let tree = Argus.Extract.of_report r in
+        let diag =
+          Rustc_diag.Diagnostic.to_string (Rustc_diag.Diagnostic.of_tree program r.goal tree)
+        in
+        let html =
+          Argus.Html.page
+            ~title:(Printf.sprintf "Trait error in %s" (Filename.basename file))
+            ~program ~diagnostic:(Some diag) tree
+        in
+        let oc = open_out out in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc html);
+        Printf.printf "wrote %s\n" out
+  in
+  let out_arg =
+    Arg.(value & opt string "argus.html" & info [ "o"; "output" ] ~doc:"output file")
+  in
+  Cmd.v
+    (Cmd.info "html"
+       ~doc:"Render the first failing goal as a standalone HTML page (textbook embedding)")
+    Term.(const run $ file_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot *)
+
+let dot_cmd =
+  let run file failures_only =
+    let _, report = solve_file file in
+    List.iter
+      (fun (r : Solver.Obligations.goal_report) ->
+        if r.status <> Solver.Obligations.Proved then
+          print_string
+            (Argus.Dot.of_tree
+               ~opts:{ Argus.Dot.default_options with show_successes = not failures_only }
+               (Argus.Extract.of_report r)))
+      report.reports
+  in
+  let failures_only =
+    Arg.(value & flag & info [ "failures-only" ] ~doc:"Omit proven subtrees.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render failing goals as GraphViz digraphs (Fig. 4c style)")
+    Term.(const run $ file_arg $ failures_only)
+
+(* ------------------------------------------------------------------ *)
+(* corpus *)
+
+let corpus_cmd =
+  let list_all () =
+    Printf.printf "%-28s %-12s %s\n" "ID" "LIBRARY" "TITLE";
+    List.iter
+      (fun (e : Corpus.Harness.entry) ->
+        Printf.printf "%-28s %-12s %s\n" e.id e.library e.title)
+      (Corpus.Suite.entries @ Corpus.Suite.extended @ Corpus.Suite.extras
+             @ Corpus.Suite.extended_ok)
+  in
+  let run id_opt =
+    match id_opt with
+    | None -> list_all ()
+    | Some id -> (
+        match
+          List.find_opt
+            (fun (e : Corpus.Harness.entry) -> e.id = id)
+            (Corpus.Suite.entries @ Corpus.Suite.extended @ Corpus.Suite.extras
+             @ Corpus.Suite.extended_ok)
+        with
+        | None ->
+            prerr_endline ("unknown corpus entry: " ^ id);
+            exit 1
+        | Some e ->
+            Printf.printf "%s — %s\n%s\n\n" e.id e.title e.description;
+            let program, report = Corpus.Harness.solve e in
+            List.iter
+              (fun (r : Solver.Obligations.goal_report) ->
+                if r.status <> Solver.Obligations.Proved then begin
+                  let tree = Argus.Extract.of_report r in
+                  print_string
+                    (Rustc_diag.Diagnostic.to_string
+                       (Rustc_diag.Diagnostic.of_tree program r.goal tree));
+                  print_newline ();
+                  print_endline (Argus.Render.tree_to_string tree)
+                end
+                else Printf.printf "[ok] %s\n" (Trait_lang.Pretty.predicate r.goal.goal_pred))
+              report.reports)
+  in
+  let id_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"corpus entry id")
+  in
+  Cmd.v (Cmd.info "corpus" ~doc:"List or run the bundled evaluation programs")
+    Term.(const run $ id_arg)
+
+(* ------------------------------------------------------------------ *)
+(* study *)
+
+let study_cmd =
+  let run seed n =
+    let d = Study.Simulate.run ~seed ~n () in
+    print_endline (Study.Analyze.to_string (Study.Analyze.analyze d))
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed") in
+  let n_arg = Arg.(value & opt int 25 & info [ "participants" ] ~doc:"number of participants") in
+  Cmd.v (Cmd.info "study" ~doc:"Run the simulated user study (Fig. 11)")
+    Term.(const run $ seed_arg $ n_arg)
+
+(* ------------------------------------------------------------------ *)
+(* interactive *)
+
+let interactive_cmd =
+  let run file =
+    let program, report = solve_file file in
+    match
+      List.find_opt
+        (fun (r : Solver.Obligations.goal_report) -> r.status <> Solver.Obligations.Proved)
+        report.reports
+    with
+    | None -> print_endline "no trait errors — nothing to debug"
+    | Some r ->
+        let tree = Argus.Extract.of_report r in
+        let vs = ref (Argus.View_state.create tree) in
+        let help () =
+          print_endline
+            "commands: e N (expand row) | c N (collapse row) | h N (hover row) | \
+             t N (toggle type ellipsis) | bu | td | rank inertia|depth|vars | \
+             paths | all | none | preds | impls N | src N | help | q"
+        in
+        let render () =
+          print_newline ();
+          let lines = Argus.Render.view !vs in
+          List.iter
+            (fun (l : Argus.Render.line) ->
+              Printf.printf "%3d %s\n" l.index (Argus.Render.line_to_string l))
+            lines;
+          match Argus.View_state.minibuffer !vs with
+          | [] -> ()
+          | paths ->
+              print_endline "-- definition paths --";
+              List.iter print_endline paths
+        in
+        let node_at idx =
+          let lines = Argus.Render.view !vs in
+          List.find_opt (fun (l : Argus.Render.line) -> l.index = idx) lines
+          |> Option.map (fun (l : Argus.Render.line) -> l.node)
+        in
+        help ();
+        render ();
+        let rec loop () =
+          print_string "> ";
+          match In_channel.input_line stdin with
+          | None -> ()
+          | Some line -> (
+              let parts =
+                String.split_on_char ' ' (String.trim line)
+                |> List.filter (fun s -> s <> "")
+              in
+              let with_row n f =
+                match node_at n with
+                | Some id when id = Argus.Render.others_row ->
+                    vs := Argus.View_state.toggle_others !vs;
+                    render ()
+                | Some id ->
+                    vs := f id;
+                    render ()
+                | None -> print_endline "no such row"
+              in
+              match parts with
+              | [ "q" ] | [ "quit" ] -> ()
+              | [ "help" ] ->
+                  help ();
+                  loop ()
+              | [ "e"; n ] ->
+                  with_row (int_of_string n) (fun id -> Argus.View_state.expand !vs id);
+                  loop ()
+              | [ "c"; n ] ->
+                  with_row (int_of_string n) (fun id -> Argus.View_state.collapse !vs id);
+                  loop ()
+              | [ "h"; n ] ->
+                  with_row (int_of_string n) (fun id -> Argus.View_state.hover !vs id);
+                  loop ()
+              | [ "t"; n ] ->
+                  with_row (int_of_string n) (fun id ->
+                      Argus.View_state.toggle_ty_expand !vs id);
+                  loop ()
+              | [ "rank"; name ] ->
+                  (match name with
+                  | "inertia" -> vs := Argus.View_state.set_ranker !vs Argus.Heuristics.by_inertia
+                  | "depth" -> vs := Argus.View_state.set_ranker !vs Argus.Heuristics.by_depth
+                  | "vars" -> vs := Argus.View_state.set_ranker !vs Argus.Heuristics.by_infer_vars
+                  | "none" -> vs := Argus.View_state.set_ranker !vs Argus.Heuristics.unsorted
+                  | _ -> print_endline "unknown ranker (inertia|depth|vars|none)");
+                  render ();
+                  loop ()
+              | [ "bu" ] ->
+                  vs := Argus.View_state.set_direction !vs Argus.View_state.Bottom_up;
+                  render ();
+                  loop ()
+              | [ "td" ] ->
+                  vs := Argus.View_state.set_direction !vs Argus.View_state.Top_down;
+                  render ();
+                  loop ()
+              | [ "paths" ] ->
+                  vs := Argus.View_state.toggle_paths !vs;
+                  render ();
+                  loop ()
+              | [ "preds" ] ->
+                  vs := Argus.View_state.toggle_all_predicates !vs;
+                  render ();
+                  loop ()
+              | [ "all" ] ->
+                  vs := Argus.View_state.expand_all !vs;
+                  render ();
+                  loop ()
+              | [ "none" ] ->
+                  vs := Argus.View_state.collapse_all !vs;
+                  render ();
+                  loop ()
+              | [ "impls"; n ] ->
+                  (match node_at (int_of_string n) with
+                  | Some id -> (
+                      let node = Argus.Proof_tree.node tree id in
+                      let trait_ =
+                        match node.kind with
+                        | Argus.Proof_tree.Goal g ->
+                            Trait_lang.Predicate.trait_path g.pred
+                        | Argus.Proof_tree.Cand c -> (
+                            match c.source with
+                            | Solver.Trace.Cand_impl i -> Some i.impl_trait.trait
+                            | _ -> None)
+                      in
+                      match trait_ with
+                      | Some t ->
+                          List.iter print_endline (Argus.Ctxlinks.impls_of_trait program t)
+                      | None -> print_endline "row has no trait")
+                  | None -> print_endline "no such row");
+                  loop ()
+              | [ "src"; n ] ->
+                  (match node_at (int_of_string n) with
+                  | Some id -> (
+                      let node = Argus.Proof_tree.node tree id in
+                      match Argus.Ctxlinks.span_of_node program node with
+                      | Some sp -> print_endline (Trait_lang.Span.to_string sp)
+                      | None -> print_endline "no source location")
+                  | None -> print_endline "no such row");
+                  loop ()
+              | _ ->
+                  print_endline "unknown command (try: help)";
+                  loop ())
+        in
+        loop ()
+  in
+  Cmd.v
+    (Cmd.info "interactive" ~doc:"Interactively explore the inference tree of a failing goal")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  Cmd.group
+    (Cmd.info "argus" ~version:"1.0.0"
+       ~doc:"An interactive debugger for trait errors (PLDI 2025 reproduction)")
+    [
+      check_cmd;
+      bottom_up_cmd;
+      top_down_cmd;
+      diag_cmd;
+      inertia_cmd;
+      json_cmd;
+      html_cmd;
+      dot_cmd;
+      corpus_cmd;
+      study_cmd;
+      interactive_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

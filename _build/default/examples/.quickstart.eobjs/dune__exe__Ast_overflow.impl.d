@@ -1,0 +1,1 @@
+examples/ast_overflow.ml: Argus Corpus List Option Printf Rustc_diag Solver Trait_lang

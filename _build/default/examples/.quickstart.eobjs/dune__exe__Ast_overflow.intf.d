@@ -1,0 +1,1 @@
+examples/ast_overflow.mli:

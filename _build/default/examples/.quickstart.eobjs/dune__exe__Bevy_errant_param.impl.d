@@ -1,0 +1,1 @@
+examples/bevy_errant_param.ml: Argus Corpus List Option Printf Rustc_diag Solver Trait_lang

@@ -1,0 +1,1 @@
+examples/bevy_errant_param.mli:

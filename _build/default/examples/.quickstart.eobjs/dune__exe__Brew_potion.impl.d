@@ -1,0 +1,1 @@
+examples/brew_potion.ml: Argus Corpus List Printf Solver Trait_lang

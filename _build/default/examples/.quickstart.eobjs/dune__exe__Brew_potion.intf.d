@@ -1,0 +1,1 @@
+examples/brew_potion.mli:

@@ -1,0 +1,1 @@
+examples/diesel_missing_join.ml: Argus Corpus List Option Printf Rustc_diag Solver Trait_lang

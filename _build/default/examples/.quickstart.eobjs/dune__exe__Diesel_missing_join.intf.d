@@ -1,0 +1,1 @@
+examples/diesel_missing_join.mli:

@@ -1,0 +1,1 @@
+examples/expression_typeck.ml: Argus List Path Pretty Printf Program Resolve Rustc_diag Solver Trait_lang Typeck

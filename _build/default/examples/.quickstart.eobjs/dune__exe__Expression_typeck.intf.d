@@ -1,0 +1,1 @@
+examples/expression_typeck.mli:

@@ -1,0 +1,1 @@
+examples/method_probing.ml: Argus List Path Predicate Pretty Printf Resolve Solver Trait_lang Ty

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Argus List Printf Rustc_diag Solver String Trait_lang

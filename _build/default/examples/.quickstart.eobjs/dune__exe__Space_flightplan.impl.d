@@ -1,0 +1,1 @@
+examples/space_flightplan.ml: Argus Corpus List Option Printf

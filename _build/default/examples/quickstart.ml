@@ -1,0 +1,79 @@
+(** Quickstart: the whole pipeline on a ten-line trait program.
+
+    Run with: [dune exec examples/quickstart.exe]
+
+    1. write an L_TRAIT program (a tiny serde-flavoured library);
+    2. parse + resolve it;
+    3. solve its goals to a fixpoint;
+    4. extract the idealized inference tree;
+    5. print the rustc-style baseline diagnostic and both Argus views;
+    6. rank root-cause candidates with inertia. *)
+
+let source =
+  {|
+extern crate serde {
+  trait Serialize {}
+}
+struct Config;
+struct Settings<T>;
+struct Metadata;
+
+impl Serialize for Config {}
+impl<T> Serialize for Settings<T> where T: Serialize {}
+
+// Metadata never implements Serialize: this goal fails.
+goal Settings<(Config, Metadata)>: Serialize from "the call to to_json(&settings)";
+|}
+
+let () =
+  (* 2. parse + resolve *)
+  let program = Trait_lang.Resolve.program_of_string ~file:"quickstart.rs" source in
+  Printf.printf "program has %d declarations and %d goal(s)\n\n"
+    (Trait_lang.Program.decl_count program)
+    (List.length (Trait_lang.Program.goals program));
+
+  (* 3. solve *)
+  let report = Solver.Obligations.solve_program program in
+  List.iter
+    (fun (r : Solver.Obligations.goal_report) ->
+      Printf.printf "goal `%s` => %s\n"
+        (Trait_lang.Pretty.predicate r.goal.goal_pred)
+        (match r.status with
+        | Solver.Obligations.Proved -> "proved"
+        | Solver.Obligations.Disproved -> "trait error"
+        | Solver.Obligations.Ambiguous -> "ambiguous"))
+    report.reports;
+  print_newline ();
+
+  let failing = List.hd (Solver.Obligations.errors report) in
+
+  (* 4. extract the idealized tree *)
+  let tree = Argus.Extract.of_report failing in
+  Printf.printf "inference tree: %d goal nodes, %d failing leaves\n\n"
+    (Argus.Proof_tree.goal_count tree)
+    (List.length (Argus.Proof_tree.failed_leaves tree));
+
+  (* 5a. the baseline: what the compiler would say *)
+  print_endline "--- rustc-style diagnostic (the baseline) ---";
+  print_string
+    (Rustc_diag.Diagnostic.to_string
+       (Rustc_diag.Diagnostic.of_tree program failing.goal tree));
+  print_newline ();
+
+  (* 5b. the Argus views *)
+  print_endline "--- Argus, bottom-up (root causes first) ---";
+  print_endline (Argus.Render.tree_to_string ~direction:Argus.View_state.Bottom_up tree);
+  print_newline ();
+  print_endline "--- Argus, top-down (the logical story) ---";
+  print_endline (Argus.Render.tree_to_string ~direction:Argus.View_state.Top_down tree);
+  print_newline ();
+
+  (* 6. inertia: what is cheapest to fix? *)
+  print_endline "--- inertia ranking ---";
+  let ranking = Argus.Inertia.rank tree in
+  List.iter
+    (fun (s : Argus.Inertia.scored_set) ->
+      Printf.printf "fix set (score %d): %s\n" s.total
+        (String.concat " AND "
+           (List.map (fun (p, _, _, _) -> Trait_lang.Pretty.predicate p) s.predicates)))
+    ranking.sets

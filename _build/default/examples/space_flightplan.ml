@@ -1,0 +1,47 @@
+(** The [space] synthetic library (§5.1.1): flight plans validated by
+    traits, mirroring Bevy's marker-separated branch-point design.
+
+    Run with: [dune exec examples/space_flightplan.exe]
+
+    Demonstrates the interactive view-state machine programmatically —
+    the exact sequence of interactions a user would perform in the IDE:
+    open the bottom-up view, expand the top root cause, hover it for the
+    definition paths (ShortTys minibuffer), toggle fully-qualified paths,
+    and switch to the top-down view. *)
+
+let show title vs =
+  Printf.printf "--- %s ---\n" title;
+  print_endline (Argus.Render.to_string vs);
+  print_newline ()
+
+let () =
+  let entry = Option.get (Corpus.Suite.find "space-raw-payload") in
+  Printf.printf "== %s ==\n%s\n\n" entry.title entry.description;
+  let _program, tree = Corpus.Harness.failed_tree entry in
+
+  (* 1. Argus opens on the collapsed bottom-up view. *)
+  let vs = Argus.View_state.create tree in
+  show "opening view (collapsed bottom-up, inertia-sorted)" vs;
+
+  (* 2. Expand the first root cause to see which impl needed it. *)
+  let first_row = List.hd (Argus.Render.view vs) in
+  let vs = Argus.View_state.expand vs first_row.node in
+  show "after expanding the top root cause (CollapseSeq)" vs;
+
+  (* 3. Hover it: the minibuffer shows fully-qualified paths (Fig. 7a). *)
+  let vs = Argus.View_state.hover vs first_row.node in
+  show "hovering the root cause (ShortTys minibuffer)" vs;
+
+  (* 4. Toggle fully-qualified paths everywhere. *)
+  let vs = Argus.View_state.toggle_paths vs in
+  show "with fully-qualified paths" vs;
+
+  (* 5. The top-down view of the same tree. *)
+  let vs = Argus.View_state.toggle_paths vs in
+  let vs = Argus.View_state.set_direction vs Argus.View_state.Top_down in
+  let vs = Argus.View_state.expand_all vs in
+  show "top-down, fully expanded (TreeData)" vs;
+
+  (* 6. The §4 toggle: reveal internal/stateful predicates. *)
+  let vs = Argus.View_state.toggle_all_predicates vs in
+  show "with compiler-internal predicates revealed" vs

@@ -1,0 +1,1 @@
+lib/core/ctxlinks.ml: Decl List Option Path Predicate Pretty Program Proof_tree Solver Span String Trait_lang Ty

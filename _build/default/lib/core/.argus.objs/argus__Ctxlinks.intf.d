@@ -1,0 +1,1 @@
+lib/core/ctxlinks.mli: Path Predicate Program Proof_tree Span Trait_lang Ty

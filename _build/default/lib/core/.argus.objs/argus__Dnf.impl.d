@@ -1,0 +1,1 @@
+lib/core/dnf.ml: Fmt Formula Int List

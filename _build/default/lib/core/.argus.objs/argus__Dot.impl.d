@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer Pretty Printf Proof_tree Solver String Trait_lang

@@ -1,0 +1,1 @@
+lib/core/extract.ml: Hashtbl List Path Predicate Proof_tree Solver String Trait_lang Ty

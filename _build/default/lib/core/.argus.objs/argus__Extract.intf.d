@@ -1,0 +1,1 @@
+lib/core/extract.mli: Proof_tree Solver Trait_lang

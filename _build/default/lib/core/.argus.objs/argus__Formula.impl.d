@@ -1,0 +1,1 @@
+lib/core/formula.ml: Fmt Hashtbl List Predicate Pretty Proof_tree Solver Trait_lang

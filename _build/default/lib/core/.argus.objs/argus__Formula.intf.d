@@ -1,0 +1,1 @@
+lib/core/formula.mli: Format Proof_tree Trait_lang

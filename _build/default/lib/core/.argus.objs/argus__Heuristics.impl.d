@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Inertia Int List Predicate Proof_tree Trait_lang

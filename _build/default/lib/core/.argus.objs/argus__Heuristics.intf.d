@@ -1,0 +1,1 @@
+lib/core/heuristics.mli: Proof_tree Trait_lang

@@ -1,0 +1,1 @@
+lib/core/html.ml: Buffer Ctxlinks List Option Pretty Printf Program Proof_tree Solver Span String Trait_lang View_state

@@ -1,0 +1,1 @@
+lib/core/html.mli: Proof_tree Trait_lang View_state

@@ -1,0 +1,1 @@
+lib/core/inertia.ml: Dnf Formula Hashtbl Int List Path Predicate Proof_tree Trait_lang Ty

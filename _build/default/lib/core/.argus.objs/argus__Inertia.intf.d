@@ -1,0 +1,1 @@
+lib/core/inertia.mli: Path Predicate Proof_tree Trait_lang Ty

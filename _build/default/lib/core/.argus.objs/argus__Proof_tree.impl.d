@@ -1,0 +1,1 @@
+lib/core/proof_tree.ml: Array Hashtbl List Option Predicate Solver Trait_lang

@@ -1,0 +1,1 @@
+lib/core/proof_tree.mli: Predicate Solver Trait_lang

@@ -1,0 +1,1 @@
+lib/core/render.ml: Heuristics List Pretty Printf Proof_tree Solver String Trait_lang View_state

@@ -1,0 +1,1 @@
+lib/core/render.mli: Heuristics Proof_tree View_state

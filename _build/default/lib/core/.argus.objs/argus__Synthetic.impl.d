@@ -1,0 +1,1 @@
+lib/core/synthetic.ml: Decl Path Predicate Printf Proof_tree Solver Span Trait_lang Ty

@@ -1,0 +1,1 @@
+lib/core/synthetic.mli: Proof_tree

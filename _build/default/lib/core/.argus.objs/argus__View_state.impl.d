@@ -1,0 +1,1 @@
+lib/core/view_state.ml: Ctxlinks Heuristics Int List Proof_tree Set Trait_lang

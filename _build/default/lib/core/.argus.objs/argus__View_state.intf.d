@@ -1,0 +1,1 @@
+lib/core/view_state.mli: Heuristics Int Proof_tree Set Trait_lang

@@ -1,0 +1,26 @@
+(** CtxtLinks (§3.2.3): auxiliary information accessible on demand —
+    definition paths, jump-to-definition targets, and the trait
+    implementor listing (Fig. 8b). *)
+
+open Trait_lang
+
+(** Every definition path mentioned by a type, outermost first. *)
+val paths_of_ty : Ty.t -> Path.t list
+
+val paths_of_predicate : Predicate.t -> Path.t list
+val paths_of_node : Proof_tree.node -> Path.t list
+
+(** Hover minibuffer: deduplicated fully-qualified paths (Fig. 7a). *)
+val definition_paths : Proof_tree.node -> string list
+
+(** A symbol the user can command-click, with its definition span. *)
+type jump = { symbol : Path.t; target : Span.t }
+
+val jump_targets : Program.t -> Proof_tree.node -> jump list
+
+(** The impl-listing popup (Fig. 8b): every impl block of a trait. *)
+val impls_of_trait : Program.t -> Path.t -> string list
+
+(** The span backing a node: the goal's origin for roots, the impl block
+    for impl candidates and where-clause subgoals. *)
+val span_of_node : Program.t -> Proof_tree.node -> Span.t option

@@ -1,0 +1,69 @@
+(** Disjunctive-normal-form normalization of failure formulas.
+
+    Each conjunct of the DNF is a *minimum correction subset* (MCS): a set
+    of failing predicates that, if they held, would make the root
+    obligation provable (§3.3).
+
+    Normalization is the exponential step whose cost Fig. 12b measures.
+    Two standard reductions keep it tractable in practice:
+    - {b deduplication}: conjuncts are canonical sorted variable sets;
+    - {b absorption}: a conjunct that is a superset of another conjunct is
+      dropped ([x ∨ (x ∧ y) = x]), which also makes every surviving
+      conjunct minimal. *)
+
+(** A conjunct: a sorted, deduplicated list of variable ids. *)
+type conjunct = int list
+
+(** A DNF: a list of conjuncts.  [[]] is the unsatisfiable formula;
+    [[[]]] (one empty conjunct) is the trivially true formula. *)
+type t = conjunct list
+
+let conj_union (a : conjunct) (b : conjunct) : conjunct =
+  List.sort_uniq Int.compare (a @ b)
+
+let conj_subset (a : conjunct) (b : conjunct) =
+  List.for_all (fun x -> List.mem x b) a
+
+(** Drop duplicate and absorbed (superset) conjuncts. *)
+let minimize (d : t) : t =
+  let d = List.sort_uniq compare d in
+  List.filter
+    (fun c -> not (List.exists (fun c' -> c' <> c && conj_subset c' c) d))
+    d
+
+(** Cross product of two DNFs, for AND. *)
+let cross (a : t) (b : t) : t =
+  minimize (List.concat_map (fun ca -> List.map (fun cb -> conj_union ca cb) b) a)
+
+type config = { minimize_eagerly : bool }
+
+let default_config = { minimize_eagerly = true }
+
+(** Normalize a formula into DNF.  With [minimize_eagerly] off (the
+    ablation bench), absorption runs only once at the end. *)
+let of_formula ?(cfg = default_config) (f : Formula.t) : t =
+  let fin d = if cfg.minimize_eagerly then minimize d else d in
+  let rec go : Formula.t -> t = function
+    | Formula.True -> [ [] ]
+    | Formula.False -> []
+    | Formula.Var i -> [ [ i ] ]
+    | Formula.Or fs -> fin (List.concat_map go fs)
+    | Formula.And fs ->
+        List.fold_left (fun acc f -> let d = go f in
+          if cfg.minimize_eagerly then cross acc d
+          else List.concat_map (fun ca -> List.map (conj_union ca) d) acc)
+          [ [] ] fs
+  in
+  minimize (go f)
+
+(** Evaluate a DNF under an assignment (for the equivalence property
+    tests against {!Formula.eval}). *)
+let eval assign (d : t) = List.exists (List.for_all assign) d
+
+let num_conjuncts (d : t) = List.length d
+
+let pp ppf (d : t) =
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:(Fmt.any " | ") (fun ppf c ->
+         Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ",") Fmt.int) c))
+    d

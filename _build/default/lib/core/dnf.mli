@@ -1,0 +1,34 @@
+(** Disjunctive-normal-form normalization of failure formulas.
+
+    Each conjunct of the DNF is a *minimum correction subset* (MCS): a
+    set of failing predicates that, if they held, would make the root
+    obligation provable (§3.3).  Normalization is the exponential step
+    whose cost Fig. 12b measures; deduplication and absorption keep it
+    tractable on realistic trees and make every conjunct minimal. *)
+
+(** A conjunct: a sorted, deduplicated list of variable ids. *)
+type conjunct = int list
+
+(** A DNF.  [[]] is unsatisfiable; [[[]]] is trivially true. *)
+type t = conjunct list
+
+val conj_union : conjunct -> conjunct -> conjunct
+val conj_subset : conjunct -> conjunct -> bool
+
+(** Drop duplicate and absorbed (superset) conjuncts. *)
+val minimize : t -> t
+
+(** Cross product (conjunction) of two DNFs. *)
+val cross : t -> t -> t
+
+type config = { minimize_eagerly : bool }
+
+val default_config : config
+
+(** Normalize a formula.  With [minimize_eagerly] off (the ablation
+    bench), absorption runs only once at the end. *)
+val of_formula : ?cfg:config -> Formula.t -> t
+
+val eval : (int -> bool) -> t -> bool
+val num_conjuncts : t -> int
+val pp : Format.formatter -> t -> unit

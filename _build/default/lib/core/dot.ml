@@ -1,0 +1,82 @@
+(** GraphViz (DOT) rendering of inference trees — the node-link "10,000
+    foot view" the paper discusses in §3.2.4.
+
+    The paper chose a nesting-based representation for user-space
+    debugging but notes a high-level view could serve "e.g., helping Rust
+    compiler developers design and debug the trait system itself"; this
+    module provides that view.  Goals render as boxes (coloured by
+    result), candidates as smaller ellipses labelled with their impl
+    header; the paper's own diagrams (Fig. 3c, Fig. 4c) use exactly this
+    shape. *)
+
+open Trait_lang
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let result_color = function
+  | Solver.Res.Yes -> "#1a7f37"
+  | Solver.Res.No -> "#cf222e"
+  | Solver.Res.Maybe -> "#9a6700"
+
+(** Abbreviate long labels so the graph stays readable. *)
+let clip ?(max = 60) s = if String.length s <= max then s else String.sub s 0 (max - 1) ^ "…"
+
+type options = {
+  show_successes : bool;  (** include proven subtrees (off keeps Fig-4c-sized graphs) *)
+  max_label : int;
+}
+
+let default_options = { show_successes = true; max_label = 60 }
+
+let node_attrs ?(opts = default_options) (n : Proof_tree.node) : string =
+  match n.kind with
+  | Proof_tree.Goal g ->
+      let label =
+        clip ~max:opts.max_label (Pretty.predicate g.pred)
+        ^ (if g.is_overflow then "\n(overflow)" else "")
+      in
+      Printf.sprintf "label=\"%s\", shape=box, color=\"%s\", fontcolor=\"%s\""
+        (escape label) (result_color g.result) (result_color g.result)
+  | Proof_tree.Cand c ->
+      let label =
+        match c.source with
+        | Solver.Trace.Cand_impl impl -> clip ~max:opts.max_label (Pretty.impl_header impl)
+        | Solver.Trace.Cand_param_env p ->
+            clip ~max:opts.max_label ("where " ^ Pretty.predicate p)
+        | Solver.Trace.Cand_builtin b -> "builtin " ^ b
+      in
+      Printf.sprintf
+        "label=\"%s\", shape=ellipse, style=dashed, color=\"%s\", fontcolor=\"#57606a\", fontsize=10"
+        (escape label) (result_color c.cand_result)
+
+(** Render the tree as a [digraph]. *)
+let of_tree ?(opts = default_options) ?(name = "argus") (tree : Proof_tree.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontname=\"monospace\", fontsize=11];\n";
+  Buffer.add_string buf "  edge [color=\"#8c959f\"];\n";
+  let visible (n : Proof_tree.node) =
+    opts.show_successes || Proof_tree.is_failed n
+  in
+  Proof_tree.fold
+    (fun () (n : Proof_tree.node) ->
+      if visible n then begin
+        Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" n.id (node_attrs ~opts n));
+        match n.parent with
+        | Some p when visible (Proof_tree.node tree p) ->
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" p n.id)
+        | _ -> ()
+      end)
+    () tree;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

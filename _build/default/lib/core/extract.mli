@@ -1,0 +1,33 @@
+(** Extraction: turning raw solver traces into the idealized tree.
+
+    §4 of the paper identifies three gaps between the trait solver's
+    output and "the beautiful AND/OR tree" of Fig. 5; this module bridges
+    each: predicate-snapshot deduplication (the implication heuristic),
+    speculative-predicate pruning, and stateful-node marking. *)
+
+(** One-sided matching: does [general] become [specific] under some
+    assignment of [general]'s inference variables?  The implication
+    heuristic: an obligation snapshot [specific] supersedes the
+    less-inferred snapshot [general]. *)
+val generalizes :
+  general:Trait_lang.Predicate.t -> specific:Trait_lang.Predicate.t -> bool
+
+(** Apply the implication heuristic over a goal's evolution (oldest
+    first): drop every attempt that a *later* attempt instantiates. *)
+val dedup_attempts : Solver.Trace.goal_node list -> Solver.Trace.goal_node list
+
+(** Drop failed speculative siblings when another goal at the same level
+    succeeded. *)
+val prune_speculative : Solver.Trace.goal_node list -> Solver.Trace.goal_node list
+
+(** Lower a single trace tree into the arena representation. *)
+val of_trace : Solver.Trace.goal_node -> Proof_tree.t
+
+(** Extract the authoritative idealized tree for a goal report: snapshot
+    dedup first, then the last surviving attempt. *)
+val of_report : Solver.Obligations.goal_report -> Proof_tree.t
+
+(** Extract the trees worth showing from a method-resolution probe
+    ({!Solver.Solve.solve_probe}): failed speculative attempts are
+    dropped when an alternative succeeded (§4). *)
+val of_probe : Solver.Trace.goal_node list -> Proof_tree.t list

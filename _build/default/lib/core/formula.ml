@@ -1,0 +1,118 @@
+(** Propositional formulas over failing predicates.
+
+    §3.3: "we treat the AND/OR tree as a propositional logic formula and
+    normalize it into disjunctive-normal form."  Variables are the
+    *innermost* failing predicates; a goal with failing candidates is the
+    OR of its candidates, a candidate the AND of its subgoals, satisfied
+    subtrees are [True], and candidates rejected outright (head mismatch
+    with no failing subgoals) contribute nothing fixable below them —
+    making their *parent goal* the variable when every candidate is
+    rejected that way. *)
+
+open Trait_lang
+
+type t =
+  | True
+  | False
+  | Var of int  (** interned predicate id *)
+  | And of t list
+  | Or of t list
+
+(** Predicate interning: the same obligation can appear at several tree
+    nodes (e.g. around a cycle); for MCS purposes it is one variable. *)
+type interner = {
+  ids : (string, int) Hashtbl.t;
+  mutable entries : (Predicate.t * Proof_tree.node_id) list;  (** newest first *)
+  mutable next : int;
+}
+
+let interner () = { ids = Hashtbl.create 32; entries = []; next = 0 }
+
+let key_of (p : Predicate.t) = Pretty.predicate ~cfg:Pretty.verbose p
+
+let intern it p node_id =
+  let key = key_of p in
+  match Hashtbl.find_opt it.ids key with
+  | Some i -> i
+  | None ->
+      let id = it.next in
+      it.next <- id + 1;
+      Hashtbl.add it.ids key id;
+      it.entries <- (p, node_id) :: it.entries;
+      id
+
+let entry it i = List.nth it.entries (it.next - 1 - i)
+
+(** The predicate behind variable [i]. *)
+let var_predicate it i = fst (entry it i)
+
+(** The first tree node carrying variable [i]'s predicate. *)
+let var_node it i = snd (entry it i)
+
+let num_vars it = it.next
+
+(* ------------------------------------------------------------------ *)
+
+(** Build the formula for a failed proof tree.  The formula is satisfied
+    exactly when the root goal would become provable. *)
+let of_tree (tree : Proof_tree.t) : t * interner =
+  let it = interner () in
+  let rec goal (n : Proof_tree.node) : t =
+    match n.kind with
+    | Proof_tree.Cand _ -> assert false
+    | Proof_tree.Goal g ->
+        if Solver.Res.is_yes g.result then True
+        else begin
+          (* candidates that could be fixed by fixing their subgoals *)
+          let cands = Proof_tree.children tree n in
+          let fixable =
+            List.filter_map
+              (fun (c : Proof_tree.node) ->
+                match c.kind with
+                | Proof_tree.Goal _ -> None
+                | Proof_tree.Cand ci ->
+                    if Solver.Res.is_yes ci.cand_result then Some True
+                    else
+                      let subs = Proof_tree.children tree c in
+                      let failing_subs =
+                        List.filter
+                          (fun s -> Proof_tree.is_goal s && Proof_tree.is_failed s)
+                          subs
+                      in
+                      (* A candidate rejected at the head (or at its
+                         associated-type term) with no failing subgoal
+                         cannot be repaired from below. *)
+                      if failing_subs = [] then None
+                      else Some (And (List.map goal failing_subs)))
+              cands
+          in
+          if fixable = [] then Var (intern it g.pred n.id) else Or fixable
+        end
+  in
+  let f = goal (Proof_tree.root tree) in
+  (f, it)
+
+(** Evaluate under an assignment (used by the qcheck equivalence tests
+    between a formula and its DNF). *)
+let rec eval assign = function
+  | True -> true
+  | False -> false
+  | Var i -> assign i
+  | And fs -> List.for_all (eval assign) fs
+  | Or fs -> List.exists (eval assign) fs
+
+let rec vars = function
+  | True | False -> []
+  | Var i -> [ i ]
+  | And fs | Or fs -> List.concat_map vars fs
+
+let rec size = function
+  | True | False | Var _ -> 1
+  | And fs | Or fs -> 1 + List.fold_left (fun a f -> a + size f) 0 fs
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "T"
+  | False -> Fmt.string ppf "F"
+  | Var i -> Fmt.pf ppf "x%d" i
+  | And fs -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any " & ") pp) fs
+  | Or fs -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any " | ") pp) fs

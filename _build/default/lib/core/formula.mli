@@ -1,0 +1,30 @@
+(** Propositional failure formulas over failing predicates (§3.3).
+
+    The AND/OR tree of a failed goal becomes a formula whose variables
+    are the innermost failing predicates; the formula is satisfied
+    exactly when the root obligation would become provable. *)
+
+type t = True | False | Var of int | And of t list | Or of t list
+
+(** Predicate interner: the same obligation appearing at several tree
+    nodes (e.g. around a cycle) is a single variable. *)
+type interner
+
+val interner : unit -> interner
+val intern : interner -> Trait_lang.Predicate.t -> Proof_tree.node_id -> int
+
+(** The predicate behind a variable. *)
+val var_predicate : interner -> int -> Trait_lang.Predicate.t
+
+(** The first tree node carrying a variable's predicate. *)
+val var_node : interner -> int -> Proof_tree.node_id
+
+val num_vars : interner -> int
+
+(** Build the failure formula of a tree, with its interner. *)
+val of_tree : Proof_tree.t -> t * interner
+
+val eval : (int -> bool) -> t -> bool
+val vars : t -> int list
+val size : t -> int
+val pp : Format.formatter -> t -> unit

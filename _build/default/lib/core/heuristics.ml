@@ -1,0 +1,67 @@
+(** Ranking heuristics for the bottom-up view.
+
+    §5.2 compares inertia against two simpler baselines over the same set
+    of failing leaves:
+    - {b predicate depth} in the inference tree (deepest first — the
+      intuition behind rustc reporting the deepest failed bound);
+    - {b number of uninstantiated inference variables} in the predicate
+      (fewest first — more-concrete predicates are more actionable).
+
+    Each ranker returns the failing leaves in display order; the Fig. 12a
+    metric is the index of the ground-truth root cause in that order. *)
+
+open Trait_lang
+
+type ranker = {
+  name : string;
+  rank : Proof_tree.t -> Proof_tree.node list;
+}
+
+let leaf_pred (n : Proof_tree.node) =
+  match n.kind with
+  | Proof_tree.Goal g -> g.pred
+  | Proof_tree.Cand _ -> invalid_arg "leaf_pred: candidate node"
+
+let by_depth : ranker =
+  {
+    name = "predicate depth";
+    rank =
+      (fun tree ->
+        Proof_tree.failed_leaves tree
+        |> List.stable_sort (fun (a : Proof_tree.node) (b : Proof_tree.node) ->
+               match (a.kind, b.kind) with
+               | Proof_tree.Goal ga, Proof_tree.Goal gb -> Int.compare gb.depth ga.depth
+               | _ -> 0));
+  }
+
+let by_infer_vars : ranker =
+  {
+    name = "inference variables";
+    rank =
+      (fun tree ->
+        Proof_tree.failed_leaves tree
+        |> List.stable_sort (fun a b ->
+               Int.compare
+                 (List.length (Predicate.infer_vars (leaf_pred a)))
+                 (List.length (Predicate.infer_vars (leaf_pred b)))));
+  }
+
+let by_inertia : ranker = { name = "inertia"; rank = Inertia.sorted_leaves }
+
+(** Leaves in plain tree order — the null ranking. *)
+let unsorted : ranker = { name = "unsorted"; rank = Proof_tree.failed_leaves }
+
+let all = [ by_inertia; by_depth; by_infer_vars ]
+
+(** The index at which [ranker] places the ground-truth root cause
+    (matched on predicate equality); [None] if the predicate is not among
+    the failing leaves.  Optimal is 0 (§5.2.1). *)
+let rank_of_root_cause (r : ranker) (tree : Proof_tree.t) ~(root_cause : Predicate.t) :
+    int option =
+  let ranked = r.rank tree in
+  let matches (n : Proof_tree.node) = Predicate.equal (leaf_pred n) root_cause in
+  let rec idx i = function
+    | [] -> None
+    | n :: rest -> if matches n then Some i else idx (i + 1) rest
+  in
+  idx 0 ranked

@@ -1,0 +1,29 @@
+(** Ranking heuristics for the bottom-up view, including the two
+    baselines inertia is compared against in §5.2 (Fig. 12a). *)
+
+type ranker = {
+  name : string;
+  rank : Proof_tree.t -> Proof_tree.node list;
+      (** failing leaves in display order *)
+}
+
+(** Deepest failing predicate first — the intuition behind rustc
+    reporting the deepest failed bound. *)
+val by_depth : ranker
+
+(** Fewest uninstantiated inference variables first. *)
+val by_infer_vars : ranker
+
+(** {!Inertia.sorted_leaves}. *)
+val by_inertia : ranker
+
+(** Plain tree order — the null ranking. *)
+val unsorted : ranker
+
+(** [ [by_inertia; by_depth; by_infer_vars] ] — the Fig. 12a lineup. *)
+val all : ranker list
+
+(** The index at which a ranker places the ground-truth root cause;
+    [None] if absent from the failing leaves.  Optimal is 0 (§5.2.1). *)
+val rank_of_root_cause :
+  ranker -> Proof_tree.t -> root_cause:Trait_lang.Predicate.t -> int option

@@ -1,0 +1,21 @@
+(** A standalone HTML embedding of the Argus view (§3.2: "... can also be
+    embedded in other contexts, such as in an online textbook").
+    CollapseSeq becomes [<details>] disclosure, ShortTys a hover tooltip
+    of fully-qualified paths, CtxtLinks footnoted source locations. *)
+
+val escape : string -> string
+
+(** One node's row markup (without disclosure structure). *)
+val node_label : ?program:Trait_lang.Program.t -> View_state.t -> Proof_tree.node -> string
+
+(** Render one view in its current direction and expansion state. *)
+val view_to_html : ?program:Trait_lang.Program.t -> View_state.t -> string
+
+(** A complete standalone page: the compiler diagnostic (if any) followed
+    by both Argus views with their first levels pre-expanded. *)
+val page :
+  ?title:string ->
+  program:Trait_lang.Program.t ->
+  diagnostic:string option ->
+  Proof_tree.t ->
+  string

@@ -1,0 +1,40 @@
+(** Terminal renderer for the Argus views.
+
+    Produces structured lines (row index, node id, indent, text) so
+    interactive front ends can map user actions ("expand row 3") back
+    onto {!View_state} operations — the same contract the VS Code webview
+    has with its DOM. *)
+
+type expander = Open | Closed | Leaf
+
+(** The synthetic row id of the "Other failures ..." fold (Fig. 9a);
+    route its expansion to {!View_state.toggle_others}. *)
+val others_row : Proof_tree.node_id
+
+type line = {
+  index : int;  (** display row number *)
+  node : Proof_tree.node_id;  (** [others_row] for the fold row *)
+  indent : int;
+  expander : expander;
+  text : string;
+}
+
+(** Row text for a single node under the view's printing options. *)
+val node_text : View_state.t -> Proof_tree.node -> string
+
+(** Render the current view to lines. *)
+val view : View_state.t -> line list
+
+val line_to_string : line -> string
+
+(** Render the whole view as one string, minibuffer included. *)
+val to_string : View_state.t -> string
+
+(** Fully-expanded one-shot rendering of a tree (what the
+    non-interactive CLI prints). *)
+val tree_to_string :
+  ?direction:View_state.direction ->
+  ?ranker:Heuristics.ranker ->
+  ?show_all_predicates:bool ->
+  Proof_tree.t ->
+  string

@@ -1,0 +1,1 @@
+lib/corpus/axum_lite.ml:

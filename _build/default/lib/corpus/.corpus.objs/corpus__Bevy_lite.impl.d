@@ -1,0 +1,1 @@
+lib/corpus/bevy_lite.ml:

@@ -1,0 +1,1 @@
+lib/corpus/diesel_lite.ml:

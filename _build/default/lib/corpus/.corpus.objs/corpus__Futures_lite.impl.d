@@ -1,0 +1,1 @@
+lib/corpus/futures_lite.ml:

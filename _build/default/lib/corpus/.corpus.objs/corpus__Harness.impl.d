@@ -1,0 +1,1 @@
+lib/corpus/harness.ml: Argus List Parser Predicate Printf Program Resolve Solver Span Trait_lang

@@ -1,0 +1,1 @@
+lib/corpus/harness.mli: Argus Predicate Program Solver Trait_lang

@@ -1,0 +1,1 @@
+lib/corpus/motivating.ml:

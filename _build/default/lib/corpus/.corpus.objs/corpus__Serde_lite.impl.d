@@ -1,0 +1,1 @@
+lib/corpus/serde_lite.ml:

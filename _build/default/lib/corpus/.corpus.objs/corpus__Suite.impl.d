@@ -1,0 +1,1 @@
+lib/corpus/suite.ml: Axum_lite Bevy_lite Brew Diesel_lite Futures_lite Harness List Motivating Serde_lite Space

@@ -1,0 +1,122 @@
+(** [axum_lite]: a model of the Axum web framework's handler traits.
+
+    A handler is a function whose parameters are request *extractors* and
+    whose return type is a response.  Two trait-level rules generate the
+    classic Axum errors:
+    - every leading parameter must implement [FromRequestParts]; only the
+      *final* parameter may consume the body ([FromRequest]);
+    - the return type must implement [IntoResponse].
+
+    Like Bevy, Axum separates overlapping impls with marker types: the
+    blanket "any parts-extractor is an extractor" impl carries the
+    [ViaParts] marker, the body extractors carry [ViaRequest] — a second
+    real-world instance of the §2.3 inferred-marker pattern.  [Handler]
+    is implemented for functions through blanket impls over [Fn], so
+    failures surface as "fn item is not a valid axum handler". *)
+
+let prelude =
+  {|
+extern crate axum {
+  struct Router;
+  struct Request;
+  struct Response;
+  struct Json<T>;
+  struct UrlPath<T>;
+  struct State<S>;
+  struct Html<T>;
+  struct StatusCode;
+  struct ViaParts;
+  struct ViaRequest;
+
+  #[on_unimplemented("is not a valid axum handler")]
+  trait Handler<T, S> {}
+  trait FromRequest<S, M> {}
+  trait FromRequestParts<S> {}
+  trait IntoResponse {}
+  trait Serialize {}
+  trait Deserialize {}
+  trait Fn<Args> { type Output; }
+
+  // body extractors consume the request
+  impl<T, S> FromRequest<S, ViaRequest> for Json<T> where T: Deserialize {}
+  // any parts-extractor can run as a final extractor too (marker-separated
+  // from the impls above, mirroring axum's private::ViaParts)
+  impl<T, S> FromRequest<S, ViaParts> for T where T: FromRequestParts<S> {}
+
+  // parts extractors
+  impl<T, S> FromRequestParts<S> for UrlPath<T> where T: Deserialize {}
+  impl<S> FromRequestParts<S> for State<S> {}
+
+  // responses
+  impl IntoResponse for Response {}
+  impl IntoResponse for StatusCode {}
+  impl<T> IntoResponse for Json<T> where T: Serialize {}
+  impl<T> IntoResponse for Html<T> {}
+  impl IntoResponse for String {}
+  impl IntoResponse for () {}
+
+  // serde instances for primitives
+  impl Deserialize for i32 {}
+  impl Deserialize for usize {}
+  impl Deserialize for String {}
+  impl Serialize for i32 {}
+  impl Serialize for usize {}
+  impl Serialize for String {}
+
+  // handlers: functions of 0, 1, or 2 extractors
+  impl<F, Res, S> Handler<(Res,), S> for F
+    where F: Fn<(), Output = Res>, Res: IntoResponse {}
+  impl<F, Res, T1, M1, S> Handler<(Res, T1, M1), S> for F
+    where F: Fn<(T1,), Output = Res>,
+          T1: FromRequest<S, M1>,
+          Res: IntoResponse {}
+  impl<F, Res, T1, T2, M2, S> Handler<(Res, T1, T2, M2), S> for F
+    where F: Fn<(T1, T2), Output = Res>,
+          T1: FromRequestParts<S>,
+          T2: FromRequest<S, M2>,
+          Res: IntoResponse {}
+}
+|}
+
+(** Fault: the handler returns a bare user type with no [IntoResponse]
+    impl (forgot to wrap it in [Json<..>]). *)
+let bad_return =
+  prelude
+  ^ {|
+struct User;
+impl Deserialize for User {}
+fn get_user(UrlPath<usize>) -> User;
+goal fn[get_user]: Handler<_, ()> from "the call to .route(\"/users/:id\", get(get_user))";
+|}
+
+(** Fault: the body extractor ([Json]) is placed before a parts
+    extractor ([UrlPath]); [Json<T>] does not implement
+    [FromRequestParts], so the two-argument handler impl rejects it. *)
+let body_extractor_first =
+  prelude
+  ^ {|
+struct CreateUser;
+impl Deserialize for CreateUser {}
+fn create_user(Json<CreateUser>, UrlPath<usize>) -> StatusCode;
+goal fn[create_user]: Handler<_, ()> from "the call to .route(\"/users\", post(create_user))";
+|}
+
+(** Fault: extracting [Json<T>] for a type that is not [Deserialize]. *)
+let missing_deserialize =
+  prelude
+  ^ {|
+struct LoginForm;
+fn login(Json<LoginForm>) -> StatusCode;
+goal fn[login]: Handler<_, ()> from "the call to .route(\"/login\", post(login))";
+|}
+
+(** A correct handler, as a sanity baseline. *)
+let ok_handler =
+  prelude
+  ^ {|
+struct User;
+impl Deserialize for User {}
+impl Serialize for User {}
+fn get_user(UrlPath<usize>) -> Json<User>;
+goal fn[get_user]: Handler<_, ()> from "the call to .route(\"/users/:id\", get(get_user))";
+|}

@@ -1,0 +1,99 @@
+(** [brew]: one of the paper's two bespoke synthetic libraries (§5.1.1).
+
+    "brew provides an API for creating potion recipes from various plant
+    ingredients, with invalid recipes ruled out by trait-based rules.
+    These APIs closely mirror the designs of Axum, Bevy, and Diesel."
+
+    brew mirrors {e Diesel}: recipe validity flows through an
+    associated-type verdict ([Affinity::Compat]), so the characteristic
+    failure is an E0271-style projection mismatch deep in a requirement
+    chain, with enough intermediate steps to trigger rustc's elision. *)
+
+let prelude =
+  {|
+extern crate brew {
+  // type-level verdicts
+  struct Compat;
+  struct Clash;
+
+  // potion construction
+  struct Potion<R>;
+  struct Recipe<A, B>;
+  struct Infusion<I>;
+  struct Cauldron;
+  struct Vial;
+
+  trait Plant {}
+  trait Ingredient { type Essence; }
+  trait Essence {}
+  // how do two ingredients interact?  type-level table, like diesel's
+  // AppearsInFromClause counts
+  trait Affinity<Other> { type Compat; }
+  trait Brewable {}
+  trait Bottleable {}
+  trait Drinkable<Container> {}
+
+  // an infusion of a plant is an ingredient
+  impl<I> Ingredient for Infusion<I> where I: Plant { type Essence = I; }
+
+  // a recipe brews iff both ingredients exist and they are compatible
+  impl<A, B> Brewable for Recipe<A, B>
+    where A: Ingredient,
+          B: Ingredient,
+          A: Affinity<B, Compat = Compat> {}
+
+  // potions bottle iff their recipe brews
+  impl<R> Bottleable for Potion<R> where R: Brewable {}
+  impl<R, C> Drinkable<C> for Potion<R> where Potion<R>: Bottleable {}
+}
+|}
+
+(** A small apothecary of plants and their affinity table. *)
+let garden =
+  {|
+struct Sunflower;
+struct Nightshade;
+struct Chamomile;
+
+impl Plant for Sunflower {}
+impl Plant for Nightshade {}
+impl Plant for Chamomile {}
+
+impl Affinity<Infusion<Sunflower>> for Infusion<Sunflower> { type Compat = Compat; }
+impl Affinity<Infusion<Chamomile>> for Infusion<Sunflower> { type Compat = Compat; }
+impl Affinity<Infusion<Nightshade>> for Infusion<Sunflower> { type Compat = Clash; }
+impl Affinity<Infusion<Sunflower>> for Infusion<Chamomile> { type Compat = Compat; }
+impl Affinity<Infusion<Chamomile>> for Infusion<Chamomile> { type Compat = Compat; }
+impl Affinity<Infusion<Nightshade>> for Infusion<Chamomile> { type Compat = Clash; }
+impl Affinity<Infusion<Sunflower>> for Infusion<Nightshade> { type Compat = Clash; }
+impl Affinity<Infusion<Chamomile>> for Infusion<Nightshade> { type Compat = Clash; }
+impl Affinity<Infusion<Nightshade>> for Infusion<Nightshade> { type Compat = Compat; }
+|}
+
+(** Fault (mirrors the Diesel missing join): brewing sunflower with
+    nightshade — the affinity verdict is [Clash], failing an E0271-style
+    projection deep below the [Drinkable] obligation. *)
+let clashing_recipe =
+  prelude ^ garden
+  ^ {|
+goal Potion<Recipe<Infusion<Sunflower>, Infusion<Nightshade>>>: Drinkable<Vial>
+  from "the call to .drink(vial)";
+|}
+
+(** Fault: an ingredient that is not a plant (no [Plant] impl means no
+    [Ingredient] for its infusion). *)
+let not_a_plant =
+  prelude ^ garden
+  ^ {|
+struct Granite;
+goal Potion<Recipe<Infusion<Granite>, Infusion<Chamomile>>>: Drinkable<Vial>
+  from "the call to .drink(vial)";
+|}
+
+(** A valid brew, as a sanity baseline. *)
+let ok_brew =
+  prelude ^ garden
+  ^ {|
+goal Potion<Recipe<Infusion<Sunflower>, Infusion<Chamomile>>>: Drinkable<Vial>
+  from "the call to .drink(vial)";
+|}

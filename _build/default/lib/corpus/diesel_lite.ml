@@ -1,0 +1,190 @@
+(** [diesel_lite]: a model of the Diesel query builder's trait machinery
+    (§2.1), written in L_TRAIT surface syntax.
+
+    Faithful to the shape that matters for trait errors: statically
+    checked queries where every selected or filtered column must
+    "appear on" the query's from-clause, enforced through the
+    [AppearsInFromClause::Count] associated type ([Once]/[Never]).
+    Real Diesel computes [Count] by type-level arithmetic; we enumerate
+    the instances, which produces identical inference trees. *)
+
+(** The library itself (the "25,771 lines of code" stand-in). *)
+let prelude =
+  {|
+extern crate diesel {
+  // type-level counters for how often a table appears in a from clause
+  struct Once;
+  struct Never;
+
+  // SQL type tags
+  struct Integer;
+  struct Text;
+
+  // query fragments
+  struct Eq<L, R>;
+  struct Grouped<T>;
+  struct WhereClause<W>;
+  struct NoWhereClause;
+  struct FromClause<F>;
+  struct SelectClause<S>;
+  struct NoDistinctClause;
+  struct InnerJoin<A, B>;
+  struct SelectStatement<From, Select, Distinct, Where>;
+  struct PgConnection;
+
+  trait Table {}
+  trait Column {
+    type Table;
+    type SqlType;
+  }
+  trait Expression {
+    type SqlType;
+  }
+  // how many times does table T appear in Self (a from clause)?
+  trait AppearsInFromClause<T> {
+    type Count;
+  }
+  trait AppearsOnTable<QS> {}
+  trait ValidWhereClause<QS> {}
+  trait Query {}
+  trait AsQuery {}
+  trait LoadQuery<Conn, U> {}
+  trait ExpressionMethods {}
+
+  // expressions built from compatible sub-expressions
+  impl<L, R> Expression for Eq<L, R>
+    where L: Expression, R: Expression {
+    type SqlType = Integer;
+  }
+  impl<T> Expression for Grouped<T> where T: Expression {
+    type SqlType = Integer;
+  }
+
+  // an expression appears on a table iff its parts do
+  impl<L, R, QS> AppearsOnTable<QS> for Eq<L, R>
+    where Eq<L, R>: Expression,
+          L: AppearsOnTable<QS>,
+          R: AppearsOnTable<QS> {}
+  impl<T, QS> AppearsOnTable<QS> for Grouped<T>
+    where Grouped<T>: Expression,
+          T: AppearsOnTable<QS> {}
+
+  // a where clause is valid iff its expression appears on the from clause
+  impl<W, QS> ValidWhereClause<QS> for WhereClause<W>
+    where W: AppearsOnTable<QS> {}
+  impl<QS> ValidWhereClause<QS> for NoWhereClause {}
+
+  // select statements are queries when their pieces line up
+  impl<F, S, D, W> Query for SelectStatement<FromClause<F>, S, D, W>
+    where W: ValidWhereClause<F> {}
+  impl<F, S, D, W> AsQuery for SelectStatement<FromClause<F>, S, D, W>
+    where SelectStatement<FromClause<F>, S, D, W>: Query {}
+  impl<F, S, D, W, Conn, U> LoadQuery<Conn, U> for SelectStatement<FromClause<F>, S, D, W>
+    where SelectStatement<FromClause<F>, S, D, W>: AsQuery {}
+}
+|}
+
+(** A two-table schema, [users] and [posts], as the schema macro would
+    generate it: table markers, column markers, and the
+    [AppearsInFromClause] counting instances. *)
+let schema =
+  {|
+mod users {
+  struct UsersTable;
+  struct UsersId;
+  struct UsersName;
+}
+mod posts {
+  struct PostsTable;
+  struct PostsId;
+  struct PostsUserId;
+}
+
+impl Table for UsersTable {}
+impl Table for PostsTable {}
+
+impl Column for UsersId { type Table = UsersTable; type SqlType = Integer; }
+impl Column for UsersName { type Table = UsersTable; type SqlType = Text; }
+impl Column for PostsId { type Table = PostsTable; type SqlType = Integer; }
+impl Column for PostsUserId { type Table = PostsTable; type SqlType = Integer; }
+
+impl Expression for UsersId { type SqlType = Integer; }
+impl Expression for UsersName { type SqlType = Text; }
+impl Expression for PostsId { type SqlType = Integer; }
+impl Expression for PostsUserId { type SqlType = Integer; }
+
+// appearance counting: a bare table contains itself once, others never
+impl AppearsInFromClause<UsersTable> for UsersTable { type Count = Once; }
+impl AppearsInFromClause<PostsTable> for UsersTable { type Count = Never; }
+impl AppearsInFromClause<UsersTable> for PostsTable { type Count = Never; }
+impl AppearsInFromClause<PostsTable> for PostsTable { type Count = Once; }
+
+// the join contains each of its tables once
+impl AppearsInFromClause<UsersTable> for InnerJoin<UsersTable, PostsTable> { type Count = Once; }
+impl AppearsInFromClause<PostsTable> for InnerJoin<UsersTable, PostsTable> { type Count = Once; }
+
+// a column appears on a query source iff its table appears exactly once
+impl<QS> AppearsOnTable<QS> for UsersId
+  where QS: AppearsInFromClause<UsersTable, Count = Once> {}
+impl<QS> AppearsOnTable<QS> for UsersName
+  where QS: AppearsInFromClause<UsersTable, Count = Once> {}
+impl<QS> AppearsOnTable<QS> for PostsId
+  where QS: AppearsInFromClause<PostsTable, Count = Once> {}
+impl<QS> AppearsOnTable<QS> for PostsUserId
+  where QS: AppearsInFromClause<PostsTable, Count = Once> {}
+|}
+
+(** §2.1's program: select from [users] filtered on [posts::id] without
+    joining [posts].  The root cause is the [eq(posts::id)] expression,
+    whose column requires [UsersTable: AppearsInFromClause<PostsTable>]
+    to count [Once] — but it counts [Never]. *)
+let missing_join =
+  prelude ^ schema
+  ^ {|
+goal SelectStatement<FromClause<UsersTable>,
+                     SelectClause<(UsersId, PostsId)>,
+                     NoDistinctClause,
+                     WhereClause<Grouped<Eq<UsersId, PostsId>>>>
+       : LoadQuery<PgConnection, (i32, String)>
+  from "the call to .load(conn)";
+|}
+
+(** The corrected program: the same query over an inner join. *)
+let with_join =
+  prelude ^ schema
+  ^ {|
+goal SelectStatement<FromClause<InnerJoin<UsersTable, PostsTable>>,
+                     SelectClause<(UsersId, PostsId)>,
+                     NoDistinctClause,
+                     WhereClause<Grouped<Eq<UsersId, PostsId>>>>
+       : LoadQuery<PgConnection, (i32, String)>
+  from "the call to .load(conn)";
+|}
+
+(** Fault: filtering on a column of a table that was joined, but
+    selecting a column from a third source that is absent entirely
+    (posts columns used with a posts-only from clause and a users
+    column in the filter). *)
+let wrong_table_filter =
+  prelude ^ schema
+  ^ {|
+goal SelectStatement<FromClause<PostsTable>,
+                     SelectClause<(PostsId,)>,
+                     NoDistinctClause,
+                     WhereClause<Grouped<Eq<PostsUserId, UsersId>>>>
+       : LoadQuery<PgConnection, (i32,)>
+  from "the call to .load(conn)";
+|}
+
+(** Fault: an expression whose sub-expression is not an [Expression] at
+    all (a raw table used as a column). *)
+let non_expression_operand =
+  prelude ^ schema
+  ^ {|
+goal SelectStatement<FromClause<UsersTable>,
+                     SelectClause<(UsersId,)>,
+                     NoDistinctClause,
+                     WhereClause<Grouped<Eq<UsersId, UsersTable>>>>
+       : LoadQuery<PgConnection, (i32,)>
+  from "the call to .load(conn)";
+|}

@@ -1,0 +1,122 @@
+(** [futures_lite]: a model of async Rust's [Future]/[Send] trait
+    machinery — the second great generator of inscrutable trait errors
+    after the framework DSLs.
+
+    The load-bearing shapes:
+    - [Future] has an associated [Output] type, so combinator chains
+      ([Map], [AndThen]) produce projection-heavy obligations like
+      iterator adapters;
+    - executors require [F: Future + Send]; a future is [Send] only if
+      the state it holds across an await point is — modeled by making a
+      future's state an explicit type parameter with structural [Send]
+      impls, so a single [Rc<T>] deep in the state breaks
+      [spawn]'s bound exactly as in tokio. *)
+
+let prelude =
+  {|
+extern crate futures {
+  trait Future { type Output; }
+  trait Send {}
+  trait Spawnable {}
+  trait Fn<Args> { type Output; }
+
+  // leaf futures: Ready<T> resolves immediately to T
+  struct Ready<T>;
+  impl<T> Future for Ready<T> { type Output = T; }
+
+  // combinators
+  struct Map<Fut, F>;
+  impl<Fut, F, B> Future for Map<Fut, F>
+    where Fut: Future,
+          F: Fn<(<Fut as Future>::Output,), Output = B> {
+    type Output = B;
+  }
+  struct AndThen<Fut, F>;
+  impl<Fut, F, NextFut> Future for AndThen<Fut, F>
+    where Fut: Future,
+          F: Fn<(<Fut as Future>::Output,), Output = NextFut>,
+          NextFut: Future {
+    type Output = <NextFut as Future>::Output;
+  }
+
+  // an async block is a generator holding State across its awaits
+  struct AsyncBlock<State, Out>;
+  impl<State, Out> Future for AsyncBlock<State, Out> { type Output = Out; }
+  impl<State, Out> Send for AsyncBlock<State, Out> where State: Send {}
+
+  // structural Send (auto-trait approximation)
+  impl Send for i32 {}
+  impl Send for usize {}
+  impl Send for String {}
+  impl Send for () {}
+  impl<T> Send for Ready<T> where T: Send {}
+  impl<A, B> Send for (A, B) where A: Send, B: Send {}
+
+  // the executor: only Send futures can be spawned onto the pool
+  impl<F> Spawnable for F where F: Future, F: Send {}
+}
+
+extern crate std {
+  struct Rc<T>;
+  struct Arc<T>;
+  struct Mutex<T>;
+  struct Vec<T>;
+  // Rc is deliberately !Send; Arc<T> and Mutex<T> forward
+  impl<T> Send for Arc<T> where T: Send {}
+  impl<T> Send for Mutex<T> where T: Send {}
+  impl<T> Send for Vec<T> where T: Send {}
+}
+|}
+
+(** Fault: the classic "future cannot be sent between threads safely" —
+    an [Rc] held across an await.  The root cause
+    [Rc<Vec<String>>: Send] sits below [AsyncBlock]'s [Send] bound,
+    below [Spawnable]. *)
+let rc_across_await =
+  prelude
+  ^ {|
+struct Db;
+impl Send for Db {}
+goal AsyncBlock<(Db, Rc<Vec<String>>), usize>: Spawnable
+  from "the call to pool.spawn(handle_request())";
+|}
+
+(** The corrected version: [Arc] instead of [Rc]. *)
+let arc_across_await =
+  prelude
+  ^ {|
+struct Db;
+impl Send for Db {}
+goal AsyncBlock<(Db, Arc<Vec<String>>), usize>: Spawnable
+  from "the call to pool.spawn(handle_request())";
+|}
+
+(** Fault: a combinator chain whose closure consumes the wrong output
+    type — projection mismatch inside [Map]'s [Fn] bound, mirroring the
+    iterator shape but through [Future::Output]. *)
+let map_wrong_output =
+  prelude
+  ^ {|
+fn summarize(String) -> usize;
+goal Map<Ready<i32>, fn[summarize]>: Future from "the call to .map(summarize)";
+|}
+
+(** Fault: [and_then] with a continuation that does not return a future
+    at all. *)
+let and_then_not_future =
+  prelude
+  ^ {|
+fn fetch_len(String) -> usize;
+goal AndThen<Ready<String>, fn[fetch_len]>: Future
+  from "the call to .and_then(fetch_len)";
+|}
+
+(** A correct combinator chain, as a sanity baseline. *)
+let ok_chain =
+  prelude
+  ^ {|
+fn to_len(String) -> usize;
+fn fetch(usize) -> Ready<String>;
+goal Map<AndThen<Ready<usize>, fn[fetch]>, fn[to_len]>: Future
+  from "the call to fetch-then-measure";
+|}

@@ -1,0 +1,128 @@
+(** The remaining motivating and miscellaneous corpus programs:
+    §2.2's accidental infinite recursion, plus std-flavoured programs
+    (iterator adapters, orphan-rule collisions) that round out the
+    17-program evaluation suite. *)
+
+(** §2.2: an AST datatype generic over node-associated data.  The impl
+    pair forms the cycle of Fig. 3c:
+    [EmptyNode: AstAssocs] ⇒ [EmptyNode: AssocData<EmptyNode>] ⇒
+    [EmptyNode: AstAssocs] ⇒ … (E0275). *)
+let ast_overflow =
+  {|
+trait AssocData<A> {}
+trait AstAssocs {
+  type Data;
+}
+struct EmptyNode;
+struct Statement<A>;
+
+impl<Data> AstAssocs for Data where Data: AssocData<Data> {
+  type Data = Data;
+}
+impl<A> AssocData<A> for EmptyNode where A: AstAssocs {}
+
+goal EmptyNode: AstAssocs from "let s: Statement<EmptyNode> = Statement(..)";
+|}
+
+(** The fixed version of the recursion: a concrete (non-blanket)
+    [AstAssocs] impl for the node type breaks the cycle. *)
+let ast_fixed =
+  {|
+trait AssocData<A> {}
+trait AstAssocs {
+  type Data;
+}
+struct EmptyNode;
+struct Statement<A>;
+
+impl AstAssocs for EmptyNode {
+  type Data = EmptyNode;
+}
+impl<A> AssocData<A> for EmptyNode where A: AstAssocs {}
+
+goal EmptyNode: AstAssocs from "let s: Statement<EmptyNode> = Statement(..)";
+|}
+
+(** A std-flavoured iterator-adapter library. *)
+let iter_prelude =
+  {|
+extern crate std {
+  trait Iterator {
+    type Item;
+  }
+  trait Fn<Args> { type Output; }
+  trait Sum {}
+  struct Map<I, F>;
+  struct Filter<I, P>;
+  struct Counter;
+
+  impl<I, F, B> Iterator for Map<I, F>
+    where I: Iterator,
+          F: Fn<(<I as Iterator>::Item,), Output = B> {
+    type Item = B;
+  }
+  impl<I, P> Iterator for Filter<I, P>
+    where I: Iterator,
+          P: Fn<(<I as Iterator>::Item,), Output = bool> {
+    type Item = <I as Iterator>::Item;
+  }
+  impl Sum for i32 {}
+  impl Sum for f64 {}
+}
+|}
+
+(** Fault: mapping with a function of the wrong input type —
+    [Counter]'s items are [i32] but the closure takes [String]. *)
+let map_wrong_input =
+  iter_prelude
+  ^ {|
+impl Iterator for Counter { type Item = i32; }
+fn stringify(String) -> String;
+goal Map<Counter, fn[stringify]>: Iterator from "the call to .map(stringify)";
+|}
+
+(** Fault: filtering with a predicate that does not return [bool]. *)
+let filter_not_bool =
+  iter_prelude
+  ^ {|
+impl Iterator for Counter { type Item = i32; }
+fn classify(i32) -> usize;
+goal Filter<Counter, fn[classify]>: Iterator from "the call to .filter(classify)";
+|}
+
+(** Fault: an external type must implement an external trait — the
+    orphan rule makes this the most expensive category of fix (§3.3):
+    you cannot add the impl yourself, so you must wrap the type in a
+    local newtype. *)
+let orphan_external =
+  {|
+extern crate serde {
+  trait Serialize {}
+}
+extern crate chrono {
+  struct DateTime;
+  struct Duration;
+}
+struct Event;
+impl Serialize for Event {}
+goal DateTime: Serialize from "the call to serde_json::to_string(&timestamp)";
+|}
+
+(** A deeper generic-container chain for the same orphan failure: the
+    missing bound is three hops below the goal. *)
+let orphan_nested =
+  {|
+extern crate serde {
+  trait Serialize {}
+}
+extern crate chrono {
+  struct DateTime;
+}
+struct Wrapper<T>;
+struct Pair<A, B>;
+struct Log;
+impl Serialize for Log {}
+impl<T> Serialize for Wrapper<T> where T: Serialize {}
+impl<A, B> Serialize for Pair<A, B> where A: Serialize, B: Serialize {}
+goal Wrapper<Pair<Log, DateTime>>: Serialize from "the call to serde_json::to_string(&entry)";
+|}

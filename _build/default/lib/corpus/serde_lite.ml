@@ -1,0 +1,128 @@
+(** [serde_lite]: a model of serde's derive-generated trait machinery.
+
+    Serde errors are the most common "requirement chain" errors in the
+    Rust ecosystem after the ORM/web-framework ones: a derived
+    [Serialize] impl for a struct requires [Serialize] for every field
+    type, recursively through the container generics ([Vec<T>],
+    [Option<T>], [HashMap<K, V>], [Box<T>]).  A single non-serializable
+    field deep inside a nested value produces exactly the long
+    "required for … to implement …" chains of §2.1, without any
+    associated types — a useful contrast to the Diesel shape.
+
+    Derives are modeled the way serde's expansion actually behaves: a
+    struct's impl carries one where-clause per field type. *)
+
+let prelude =
+  {|
+extern crate serde {
+  trait Serialize {}
+  trait Deserialize {}
+  trait Serializer {}
+  trait Deserializer {}
+
+  impl Serialize for i32 {}
+  impl Serialize for usize {}
+  impl Serialize for f64 {}
+  impl Serialize for bool {}
+  impl Serialize for String {}
+  impl Serialize for () {}
+
+  impl Deserialize for i32 {}
+  impl Deserialize for usize {}
+  impl Deserialize for f64 {}
+  impl Deserialize for bool {}
+  impl Deserialize for String {}
+}
+
+extern crate std {
+  struct Vec<T>;
+  struct Option<T>;
+  struct Box<T>;
+  struct HashMap<K, V>;
+  struct Rc<T>;
+
+  impl<T> Serialize for Vec<T> where T: Serialize {}
+  impl<T> Serialize for Option<T> where T: Serialize {}
+  impl<T> Serialize for Box<T> where T: Serialize {}
+  impl<K, V> Serialize for HashMap<K, V> where K: Serialize, V: Serialize {}
+
+  impl<T> Deserialize for Vec<T> where T: Deserialize {}
+  impl<T> Deserialize for Option<T> where T: Deserialize {}
+  impl<T> Deserialize for Box<T> where T: Deserialize {}
+  impl<K, V> Deserialize for HashMap<K, V> where K: Deserialize, V: Deserialize {}
+}
+
+extern crate serde_json {
+  struct Value;
+  impl Serialize for Value {}
+  impl Deserialize for Value {}
+}
+|}
+
+(** An application data model with derives; [Session] holds a raw OS
+    handle that (correctly) has no [Serialize] impl. *)
+let app_model =
+  {|
+struct UserId;
+struct User;
+struct Profile;
+struct Session;
+struct RawFd;
+
+// #[derive(Serialize)] expansions: one bound per field type
+impl Serialize for UserId {}
+impl Serialize for User
+  where UserId: Serialize, String: Serialize, Profile: Serialize {}
+impl Serialize for Profile
+  where Vec<String>: Serialize, Option<Session>: Serialize {}
+// Session holds a RawFd; its derive was written, but RawFd has no impl
+impl Serialize for Session where RawFd: Serialize {}
+|}
+
+(** Fault: serializing a [User] fails five requirements deep because
+    [Session]'s [RawFd] field is not serializable. *)
+let missing_field_impl =
+  prelude ^ app_model
+  ^ {|
+goal Vec<User>: Serialize from "the call to serde_json::to_string(&users)";
+|}
+
+(** Fault: a [HashMap] key type without [Serialize]. *)
+let bad_map_key =
+  prelude
+  ^ {|
+struct Ip;
+struct Packet;
+impl Serialize for Packet {}
+goal HashMap<Ip, Vec<Packet>>: Serialize from "the call to serde_json::to_string(&by_ip)";
+|}
+
+(** Fault: asymmetric derives — the type serializes but was never given
+    [Deserialize], a classic round-trip surprise. *)
+let missing_deserialize =
+  prelude
+  ^ {|
+struct Config;
+impl Serialize for Config {}
+goal Option<Box<Config>>: Deserialize from "the call to serde_json::from_str(&s)";
+|}
+
+(** The corrected model: [Session] is skipped from serialization
+    ([#[serde(skip)]]), so its impl no longer requires [RawFd]. *)
+let fixed_model =
+  prelude
+  ^ {|
+struct UserId;
+struct User;
+struct Profile;
+struct Session;
+struct RawFd;
+
+impl Serialize for UserId {}
+impl Serialize for User
+  where UserId: Serialize, String: Serialize, Profile: Serialize {}
+// Profile's Session field is #[serde(skip)]: no bound on Session
+impl Serialize for Profile where Vec<String>: Serialize {}
+
+goal Vec<User>: Serialize from "the call to serde_json::to_string(&users)";
+|}

@@ -1,0 +1,86 @@
+(** [space]: the paper's second bespoke synthetic library (§5.1.1).
+
+    "space provides an API to construct intergalactic flight plans, with
+    invalid flight plans also ruled out by traits."
+
+    space mirrors {e Bevy}: a flight plan is registered via marker-
+    separated [IntoMission] impls — one for plain functions whose
+    parameters are mission equipment, one for hand-rolled [Mission]
+    types — so the characteristic failure is a branch point that the
+    compiler's static diagnostic cannot descend past. *)
+
+let prelude =
+  {|
+extern crate space {
+  struct MissionControl;
+  struct Launchpad;
+  struct IsRouteFn;
+  struct Cargo<T>;
+  struct CrewOf<N>;
+  struct FuelTank<G>;
+  struct Antimatter;
+  struct Hydrazine;
+
+  trait Payload {}
+  trait Grade {}
+  trait Equipment {}
+  trait Mission {}
+  trait RouteFn<Marker> {}
+  #[on_unimplemented("cannot be scheduled as a mission")]
+  trait IntoMission<Marker> {}
+  trait Fn<Args> { type Output; }
+
+  // equipment: what a route function may request
+  impl<T> Equipment for Cargo<T> where T: Payload {}
+  impl<N> Equipment for CrewOf<N> {}
+  impl<G> Equipment for FuelTank<G> where G: Grade {}
+
+  impl Grade for Antimatter {}
+  impl Grade for Hydrazine {}
+
+  // route functions: each parameter must be equipment
+  impl<Out, F> RouteFn<fn() -> Out> for F where F: Fn<()> {}
+  impl<E0, Out, F> RouteFn<fn(E0) -> Out> for F
+    where F: Fn<(E0,)>, E0: Equipment {}
+  impl<E0, E1, Out, F> RouteFn<fn(E0, E1) -> Out> for F
+    where F: Fn<(E0, E1)>, E0: Equipment, E1: Equipment {}
+
+  // the marker-separated branch (mirrors bevy's IntoSystem)
+  impl<Marker, F> IntoMission<(IsRouteFn, Marker)> for F
+    where F: RouteFn<Marker> {}
+  impl<M> IntoMission<()> for M where M: Mission {}
+}
+|}
+
+(** Fault (mirrors the Bevy errant parameter): the route function takes
+    the raw payload [Supplies] instead of [Cargo<Supplies>]; [Supplies]
+    is not [Equipment], but the diagnostic stops at the [IntoMission]
+    branch point. *)
+let raw_payload =
+  prelude
+  ^ {|
+struct Supplies;
+impl Payload for Supplies {}
+fn resupply_run(Supplies) -> ();
+goal fn[resupply_run]: IntoMission<_> from "the call to .schedule(resupply_run)";
+|}
+
+(** Fault: fuel of an unregistered grade — the failing leaf is
+    [Kerosene: Grade], two hops below the branch point. *)
+let bad_fuel =
+  prelude
+  ^ {|
+struct Kerosene;
+fn long_haul(FuelTank<Kerosene>, CrewOf<i32>) -> ();
+goal fn[long_haul]: IntoMission<_> from "the call to .schedule(long_haul)";
+|}
+
+(** A valid flight plan, as a sanity baseline. *)
+let ok_plan =
+  prelude
+  ^ {|
+struct Supplies;
+impl Payload for Supplies {}
+fn resupply_run(Cargo<Supplies>, FuelTank<Hydrazine>) -> ();
+goal fn[resupply_run]: IntoMission<_> from "the call to .schedule(resupply_run)";
+|}

@@ -1,0 +1,1 @@
+lib/json/decode.ml: Json List Path Predicate Printf Region String Trait_lang Ty

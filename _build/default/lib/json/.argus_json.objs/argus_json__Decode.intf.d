@@ -1,0 +1,1 @@
+lib/json/decode.mli: Json Path Predicate Trait_lang Ty

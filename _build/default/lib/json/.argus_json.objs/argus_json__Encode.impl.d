@@ -1,0 +1,1 @@
+lib/json/encode.ml: Argus Decl Json List Path Predicate Pretty Region Solver Span Trait_lang Ty

@@ -1,0 +1,1 @@
+lib/json/encode.mli: Argus Decl Json Path Predicate Region Solver Span Trait_lang Ty

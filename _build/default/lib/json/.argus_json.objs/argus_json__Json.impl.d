@@ -1,0 +1,1 @@
+lib/json/json.ml: Buffer Char Float List Printf String

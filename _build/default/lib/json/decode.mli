@@ -1,0 +1,14 @@
+(** JSON decoders, inverse to {!Encode} for the type-system fragment, so
+    front-end round trips are testable end to end. *)
+
+open Trait_lang
+
+type error = { path : string; message : string }
+
+exception Decode_error of error
+
+(** @raise Decode_error with a JSON-path-qualified message. *)
+val ty_of_json : Json.t -> Ty.t
+
+val predicate_of_json : Json.t -> Predicate.t
+val path_of_json : Json.t -> Path.t

@@ -1,0 +1,169 @@
+(** JSON encoders for the L_TRAIT type system and the extracted proof
+    trees — the external representation the IDE front end would consume
+    (the role of the serde layer that is 40.6% of the Rust plugin, §4). *)
+
+open Trait_lang
+
+let path (p : Path.t) : Json.t =
+  Json.Obj
+    [
+      ( "crate",
+        match Path.crate p with
+        | Path.Local -> Json.String "local"
+        | Path.External c -> Json.String c );
+      ("segments", Json.List (List.map (fun s -> Json.String s) (Path.segments p)));
+    ]
+
+let span (s : Span.t) : Json.t =
+  if Span.is_dummy s then Json.Null
+  else
+    Json.Obj
+      [
+        ("file", Json.String (Span.file s));
+        ("line", Json.Int (Span.start_line s));
+      ]
+
+let region (r : Region.t) : Json.t = Json.String (Region.to_string r)
+
+let rec ty (t : Ty.t) : Json.t =
+  let k kind fields = Json.Obj (("kind", Json.String kind) :: fields) in
+  match t with
+  | Ty.Unit -> k "unit" []
+  | Ty.Bool -> k "bool" []
+  | Ty.Int -> k "i32" []
+  | Ty.Uint -> k "usize" []
+  | Ty.Float -> k "f64" []
+  | Ty.Str -> k "string" []
+  | Ty.Param name -> k "param" [ ("name", Json.String name) ]
+  | Ty.Infer i -> k "infer" [ ("id", Json.Int i) ]
+  | Ty.Ref (r, t') -> k "ref" [ ("region", region r); ("ty", ty t') ]
+  | Ty.RefMut (r, t') -> k "ref_mut" [ ("region", region r); ("ty", ty t') ]
+  | Ty.Ctor (p, args') -> k "adt" [ ("path", path p); ("args", args args') ]
+  | Ty.Tuple ts -> k "tuple" [ ("elems", Json.List (List.map ty ts)) ]
+  | Ty.FnPtr (inputs, output) ->
+      k "fn_ptr" [ ("inputs", Json.List (List.map ty inputs)); ("output", ty output) ]
+  | Ty.FnItem (p, inputs, output) ->
+      k "fn_item"
+        [
+          ("path", path p);
+          ("inputs", Json.List (List.map ty inputs));
+          ("output", ty output);
+        ]
+  | Ty.Dynamic tr -> k "dyn" [ ("trait", trait_ref tr) ]
+  | Ty.Proj p -> k "projection" [ ("proj", projection p) ]
+
+and arg : Ty.arg -> Json.t = function
+  | Ty.Ty t -> Json.Obj [ ("ty", ty t) ]
+  | Ty.Lifetime r -> Json.Obj [ ("lifetime", region r) ]
+
+and args (xs : Ty.arg list) : Json.t = Json.List (List.map arg xs)
+
+and trait_ref (tr : Ty.trait_ref) : Json.t =
+  Json.Obj [ ("trait", path tr.trait); ("args", args tr.args) ]
+
+and projection (p : Ty.projection) : Json.t =
+  Json.Obj
+    [
+      ("self", ty p.self_ty);
+      ("trait", trait_ref p.proj_trait);
+      ("assoc", Json.String p.assoc);
+      ("assoc_args", args p.assoc_args);
+    ]
+
+let predicate (p : Predicate.t) : Json.t =
+  let k kind fields = Json.Obj (("kind", Json.String kind) :: fields) in
+  match p with
+  | Predicate.Trait { self_ty; trait_ref = tr } ->
+      k "trait" [ ("self", ty self_ty); ("trait_ref", trait_ref tr) ]
+  | Predicate.Projection { projection = pr; term } ->
+      k "projection" [ ("proj", projection pr); ("term", ty term) ]
+  | Predicate.TypeOutlives (t, r) -> k "type_outlives" [ ("ty", ty t); ("region", region r) ]
+  | Predicate.RegionOutlives (a, b) ->
+      k "region_outlives" [ ("sub", region a); ("sup", region b) ]
+  | Predicate.WellFormed t -> k "well_formed" [ ("ty", ty t) ]
+  | Predicate.ObjectSafe p -> k "object_safe" [ ("trait", path p) ]
+  | Predicate.ConstEvaluatable e -> k "const_evaluatable" [ ("expr", Json.String e) ]
+  | Predicate.NormalizesTo (pr, v) ->
+      k "normalizes_to" [ ("proj", projection pr); ("into", Json.Int v) ]
+
+let res (r : Solver.Res.t) : Json.t = Json.String (Solver.Res.to_string r)
+
+let impl (i : Decl.impl) : Json.t =
+  Json.Obj
+    [
+      ("id", Json.Int i.impl_id);
+      ("trait_ref", trait_ref i.impl_trait);
+      ("self", ty i.impl_self);
+      ("span", span i.impl_span);
+      ("header", Json.String (Pretty.impl_header ~cfg:Pretty.expanded i));
+    ]
+
+let cand_source : Solver.Trace.cand_source -> Json.t = function
+  | Solver.Trace.Cand_impl i -> Json.Obj [ ("impl", impl i) ]
+  | Solver.Trace.Cand_param_env p -> Json.Obj [ ("param_env", predicate p) ]
+  | Solver.Trace.Cand_builtin b -> Json.Obj [ ("builtin", Json.String b) ]
+
+(** Encode an extracted proof tree, nodes flattened in id order —
+    the wire format an embedding UI would consume. *)
+let proof_tree (t : Argus.Proof_tree.t) : Json.t =
+  let node (n : Argus.Proof_tree.node) : Json.t =
+    let base =
+      [
+        ("id", Json.Int n.id);
+        ( "parent",
+          match n.parent with Some p -> Json.Int p | None -> Json.Null );
+        ("children", Json.List (List.map (fun c -> Json.Int c) n.children));
+      ]
+    in
+    match n.kind with
+    | Argus.Proof_tree.Goal g ->
+        Json.Obj
+          (base
+          @ [
+              ("type", Json.String "goal");
+              ("predicate", predicate g.pred);
+              ("result", res g.result);
+              ("overflow", Json.Bool g.is_overflow);
+              ("stateful", Json.Bool g.is_stateful);
+              ("depth", Json.Int g.depth);
+              ("text", Json.String (Pretty.predicate g.pred));
+            ])
+    | Argus.Proof_tree.Cand c ->
+        Json.Obj
+          (base
+          @ [
+              ("type", Json.String "candidate");
+              ("source", cand_source c.source);
+              ("result", res c.cand_result);
+            ])
+  in
+  Json.Obj
+    [
+      ("root", Json.Int (Argus.Proof_tree.root t).id);
+      ( "nodes",
+        Json.List
+          (Argus.Proof_tree.fold (fun acc n -> node n :: acc) [] t |> List.rev) );
+    ]
+
+let goal_report (r : Solver.Obligations.goal_report) : Json.t =
+  Json.Obj
+    [
+      ("goal", predicate r.goal.goal_pred);
+      ("origin", Json.String r.goal.goal_origin);
+      ("span", span r.goal.goal_span);
+      ( "status",
+        Json.String
+          (match r.status with
+          | Solver.Obligations.Proved -> "proved"
+          | Solver.Obligations.Disproved -> "disproved"
+          | Solver.Obligations.Ambiguous -> "ambiguous") );
+      ("attempts", Json.Int (List.length r.attempts));
+      ("tree", proof_tree (Argus.Extract.of_report r));
+    ]
+
+let report (r : Solver.Obligations.report) : Json.t =
+  Json.Obj
+    [
+      ("rounds", Json.Int r.rounds);
+      ("goals", Json.List (List.map goal_report r.reports));
+    ]

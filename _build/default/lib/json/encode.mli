@@ -1,0 +1,23 @@
+(** JSON encoders for the L_TRAIT type system, predicates, and extracted
+    proof trees — the wire format an embedding UI consumes. *)
+
+open Trait_lang
+
+val path : Path.t -> Json.t
+val span : Span.t -> Json.t
+val region : Region.t -> Json.t
+val ty : Ty.t -> Json.t
+val arg : Ty.arg -> Json.t
+val args : Ty.arg list -> Json.t
+val trait_ref : Ty.trait_ref -> Json.t
+val projection : Ty.projection -> Json.t
+val predicate : Predicate.t -> Json.t
+val res : Solver.Res.t -> Json.t
+val impl : Decl.impl -> Json.t
+val cand_source : Solver.Trace.cand_source -> Json.t
+
+(** Nodes flattened in id order with parent/children links. *)
+val proof_tree : Argus.Proof_tree.t -> Json.t
+
+val goal_report : Solver.Obligations.goal_report -> Json.t
+val report : Solver.Obligations.report -> Json.t

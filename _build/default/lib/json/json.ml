@@ -1,0 +1,285 @@
+(** A minimal JSON implementation: value type, printer, and parser.
+
+    The Argus compiler plugin devotes 40.6% of its code to "serializing
+    the Rust type system to JSON" (§4); this module and {!Encode} are the
+    OCaml analog, kept dependency-free since the sealed environment has no
+    yojson. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf (String k);
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string (j : t) =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(** Pretty printer with 2-space indentation. *)
+let to_string_pretty (j : t) =
+  let buf = Buffer.create 256 in
+  let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let rec go indent = function
+    | (Null | Bool _ | Int _ | Float _ | String _) as v -> write buf v
+    | List [] -> Buffer.add_string buf "[]"
+    | List xs ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (indent + 1);
+            go (indent + 1) x)
+          xs;
+        Buffer.add_char buf '\n';
+        pad indent;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (indent + 1);
+            write buf (String k);
+            Buffer.add_string buf ": ";
+            go (indent + 1) v)
+          fields;
+        Buffer.add_char buf '\n';
+        pad indent;
+        Buffer.add_char buf '}'
+  in
+  go 0 j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Parse_error of string * int  (** message, byte offset *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek_char ps = if ps.pos < String.length ps.src then Some ps.src.[ps.pos] else None
+
+let fail ps msg = raise (Parse_error (msg, ps.pos))
+
+let rec skip_ws ps =
+  match peek_char ps with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      ps.pos <- ps.pos + 1;
+      skip_ws ps
+  | _ -> ()
+
+let expect_char ps c =
+  match peek_char ps with
+  | Some c' when c' = c -> ps.pos <- ps.pos + 1
+  | _ -> fail ps (Printf.sprintf "expected %C" c)
+
+let parse_literal ps lit value =
+  if
+    ps.pos + String.length lit <= String.length ps.src
+    && String.sub ps.src ps.pos (String.length lit) = lit
+  then begin
+    ps.pos <- ps.pos + String.length lit;
+    value
+  end
+  else fail ps (Printf.sprintf "expected %s" lit)
+
+let parse_string_body ps =
+  expect_char ps '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek_char ps with
+    | None -> fail ps "unterminated string"
+    | Some '"' -> ps.pos <- ps.pos + 1
+    | Some '\\' -> (
+        ps.pos <- ps.pos + 1;
+        match peek_char ps with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            ps.pos <- ps.pos + 1;
+            loop ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            ps.pos <- ps.pos + 1;
+            loop ()
+        | Some 'r' ->
+            Buffer.add_char buf '\r';
+            ps.pos <- ps.pos + 1;
+            loop ()
+        | Some 'u' ->
+            (* \uXXXX: decode BMP code points to UTF-8 *)
+            ps.pos <- ps.pos + 1;
+            if ps.pos + 4 > String.length ps.src then fail ps "bad \\u escape";
+            let hex = String.sub ps.src ps.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> fail ps "bad \\u escape"
+            in
+            ps.pos <- ps.pos + 4;
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            loop ()
+        | Some c ->
+            Buffer.add_char buf c;
+            ps.pos <- ps.pos + 1;
+            loop ()
+        | None -> fail ps "unterminated escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        ps.pos <- ps.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number ps =
+  let start = ps.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while ps.pos < String.length ps.src && is_num_char ps.src.[ps.pos] do
+    ps.pos <- ps.pos + 1
+  done;
+  let s = String.sub ps.src start (ps.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail ps "malformed number")
+
+let rec parse_value ps : t =
+  skip_ws ps;
+  match peek_char ps with
+  | None -> fail ps "unexpected end of input"
+  | Some 'n' -> parse_literal ps "null" Null
+  | Some 't' -> parse_literal ps "true" (Bool true)
+  | Some 'f' -> parse_literal ps "false" (Bool false)
+  | Some '"' -> String (parse_string_body ps)
+  | Some '[' ->
+      ps.pos <- ps.pos + 1;
+      skip_ws ps;
+      if peek_char ps = Some ']' then begin
+        ps.pos <- ps.pos + 1;
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value ps in
+          skip_ws ps;
+          match peek_char ps with
+          | Some ',' ->
+              ps.pos <- ps.pos + 1;
+              elems (v :: acc)
+          | Some ']' ->
+              ps.pos <- ps.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail ps "expected ',' or ']'"
+        in
+        List (elems [])
+      end
+  | Some '{' ->
+      ps.pos <- ps.pos + 1;
+      skip_ws ps;
+      if peek_char ps = Some '}' then begin
+        ps.pos <- ps.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ps;
+          let k = parse_string_body ps in
+          skip_ws ps;
+          expect_char ps ':';
+          let v = parse_value ps in
+          skip_ws ps;
+          match peek_char ps with
+          | Some ',' ->
+              ps.pos <- ps.pos + 1;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              ps.pos <- ps.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> fail ps "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some _ -> parse_number ps
+
+let of_string (s : string) : t =
+  let ps = { src = s; pos = 0 } in
+  let v = parse_value ps in
+  skip_ws ps;
+  if ps.pos <> String.length s then fail ps "trailing input";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+let to_list_opt = function List xs -> Some xs | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let equal (a : t) (b : t) = a = b

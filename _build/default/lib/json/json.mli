@@ -1,0 +1,33 @@
+(** A minimal JSON implementation: value type, printers, parser, and
+    accessors.  Dependency-free (the sealed environment has no yojson);
+    this plus {!Encode}/{!Decode} is the analog of the 40.6% of the Rust
+    plugin that serializes the type system (§4). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape_string : string -> string
+
+(** Compact single-line rendering. *)
+val to_string : t -> string
+
+(** 2-space-indented rendering. *)
+val to_string_pretty : t -> string
+
+exception Parse_error of string * int  (** message, byte offset *)
+
+(** @raise Parse_error on malformed or trailing input. *)
+val of_string : string -> t
+
+val member : string -> t -> t option
+val to_list_opt : t -> t list option
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/rustc_diag/diagnostic.ml: Argus Array Buffer List Option Predicate Pretty Printf Program Proof_tree Solver Span String Trait_lang

@@ -1,0 +1,1 @@
+lib/rustc_diag/diagnostic.mli: Argus Predicate Program Proof_tree Span Trait_lang

@@ -1,0 +1,215 @@
+(** Rust-compiler-style textual diagnostics — the *baseline* Argus is
+    evaluated against.
+
+    This module reproduces the rendering strategy the paper's §2
+    dissects, including its information-losing heuristics:
+
+    - it reports the *deepest* failed predicate reachable along an
+      unambiguous failure chain, but {b stops at branch points} in the
+      inference tree (the §2.3 Bevy problem: the key bound
+      [Timer: SystemParam] never appears);
+    - it prints the chain of "required for … to implement …" notes, but
+      {b elides the middle} of long chains as "N redundant requirements
+      hidden" (the §2.1 Diesel problem: the informative [Eq<..>] bound is
+      hidden);
+    - it applies a path-shortening heuristic that can render distinct
+      types identically (both [users::table] and [posts::table] print as
+      [table]);
+    - [#[diagnostic::on_unimplemented]] messages replace the generic
+      header when the failing trait declares one (§6). *)
+
+open Trait_lang
+open Argus
+
+type t = {
+  code : string;  (** "E0277" | "E0271" | "E0275" *)
+  primary : string;  (** the headline message *)
+  span : Span.t;  (** where the root obligation arose *)
+  origin : string;  (** e.g. "the call to .load(conn)" *)
+  notes : string list;  (** "required for …" chain notes, post-elision *)
+  hidden : int;  (** count of elided chain entries *)
+  reported : Proof_tree.node_id;  (** the node the headline talks about *)
+  root_bound : string;  (** the originating bound, printed last *)
+}
+
+(* rustc trims paths: print only the final segment, even when that
+   collapses distinct types — deliberately reproducing the §2.1 flaw. *)
+let trimmed = { Pretty.qualified_paths = false; max_depth = 1000; show_regions = false }
+
+(** Walk from the root towards the deepest failure, stopping at branch
+    points (two or more failing candidates that each have failing
+    subgoals). *)
+let reported_chain (tree : Proof_tree.t) : Proof_tree.node list =
+  let rec descend acc (n : Proof_tree.node) =
+    let acc = n :: acc in
+    let failing_cands =
+      Proof_tree.children tree n
+      |> List.filter_map (fun c ->
+             match c.Proof_tree.kind with
+             | Proof_tree.Cand ci when not (Solver.Res.is_yes ci.cand_result) ->
+                 let failing_subs =
+                   Proof_tree.children tree c
+                   |> List.filter (fun s ->
+                          Proof_tree.is_goal s && Proof_tree.is_failed s)
+                 in
+                 if failing_subs = [] then None else Some failing_subs
+             | _ -> None)
+    in
+    match failing_cands with
+    | [ subs ] -> descend acc (List.hd subs)
+    | _ -> acc  (* leaf failure or branch point: stop here *)
+  in
+  descend [] (Proof_tree.root tree)
+(* deepest first *)
+
+let pred_of (n : Proof_tree.node) =
+  match n.Proof_tree.kind with
+  | Proof_tree.Goal g -> g.pred
+  | Proof_tree.Cand _ -> invalid_arg "pred_of"
+
+let goal_of (n : Proof_tree.node) =
+  match n.Proof_tree.kind with
+  | Proof_tree.Goal g -> g
+  | Proof_tree.Cand _ -> invalid_arg "goal_of"
+
+let required_for_note (p : Predicate.t) =
+  match p with
+  | Predicate.Trait { self_ty; trait_ref } ->
+      Printf.sprintf "required for `%s` to implement `%s`" (Pretty.ty ~cfg:trimmed self_ty)
+        (Pretty.trait_ref ~cfg:trimmed trait_ref)
+  | _ -> Printf.sprintf "required for `%s` to hold" (Pretty.predicate ~cfg:trimmed p)
+
+(** rustc elision: keep the two notes nearest the reported error and the
+    two nearest the root; hide the rest. *)
+let elide (notes : string list) : string list * int =
+  let n = List.length notes in
+  if n <= 4 then (notes, 0)
+  else
+    let arr = Array.of_list notes in
+    let kept_head = [ arr.(0); arr.(1) ] in
+    let kept_tail = [ arr.(n - 2); arr.(n - 1) ] in
+    let hidden = n - 4 in
+    ( kept_head
+      @ [ Printf.sprintf "%d redundant requirements hidden" hidden ]
+      @ kept_tail,
+      hidden )
+
+let headline (program : Program.t) (reported : Proof_tree.node) : string * string =
+  let g = goal_of reported in
+  if g.is_overflow then
+    ( "E0275",
+      Printf.sprintf "overflow evaluating the requirement `%s`"
+        (Pretty.predicate ~cfg:trimmed g.pred) )
+  else if Solver.Res.is_maybe g.result then
+    (* inference finished with the predicate still ambiguous *)
+    ( "E0283",
+      Printf.sprintf "type annotations needed: cannot satisfy `%s`"
+        (Pretty.predicate ~cfg:trimmed g.pred) )
+  else
+    match g.pred with
+    | Predicate.Projection { projection; term } ->
+        ( "E0271",
+          Printf.sprintf "type mismatch resolving `%s == %s`"
+            (Pretty.projection ~cfg:trimmed projection)
+            (Pretty.ty ~cfg:trimmed term) )
+    | Predicate.Trait { self_ty; trait_ref } -> (
+        let custom =
+          Option.bind (Program.find_trait program trait_ref.trait) (fun tr ->
+              tr.tr_on_unimplemented)
+        in
+        match custom with
+        | Some msg ->
+            ("E0277", Printf.sprintf "`%s` %s" (Pretty.ty ~cfg:trimmed self_ty) msg)
+        | None ->
+            ( "E0277",
+              Printf.sprintf "the trait bound `%s: %s` is not satisfied"
+                (Pretty.ty ~cfg:trimmed self_ty)
+                (Pretty.trait_ref ~cfg:trimmed trait_ref) ))
+    | p ->
+        ("E0277", Printf.sprintf "the requirement `%s` is not satisfied" (Pretty.predicate ~cfg:trimmed p))
+
+(** Produce the diagnostic for a failed root goal's proof tree. *)
+let of_tree (program : Program.t) (goal : Program.goal) (tree : Proof_tree.t) : t =
+  let chain = reported_chain tree in
+  let reported = List.hd chain in
+  let code, primary = headline program reported in
+  (* An [#[diagnostic::on_unimplemented]] message on the *root* bound's
+     trait overrides the headline — this is how Bevy's "does not describe
+     a valid system configuration" (Fig. 4b) arises even though the
+     reported bound is the deeper [IntoSystem]. *)
+  let code, primary, help =
+    match goal.goal_pred with
+    | Predicate.Trait { self_ty; trait_ref } when code = "E0277" -> (
+        match
+          Option.bind (Program.find_trait program trait_ref.trait) (fun tr ->
+              tr.tr_on_unimplemented)
+        with
+        | Some msg ->
+            ( "E0277",
+              Printf.sprintf "`%s` %s" (Pretty.ty ~cfg:trimmed self_ty) msg,
+              (* keep the generic text of the reported bound as a help line *)
+              [
+                Printf.sprintf "help: the trait `%s` is not implemented"
+                  (Pretty.predicate ~cfg:trimmed (pred_of reported));
+              ] )
+        | None -> (code, primary, []))
+    | _ -> (code, primary, [])
+  in
+  (* On E0277 at a branch point, rustc reports the *root* bound (the §2.3
+     behaviour); on linear chains it reports the deepest and notes the
+     chain upward. *)
+  let intermediate =
+    match chain with [] | [ _ ] -> [] | _ :: rest -> List.map pred_of rest
+  in
+  let notes_raw = help @ List.map required_for_note intermediate in
+  let notes, hidden = elide notes_raw in
+  {
+    code;
+    primary;
+    span = goal.goal_span;
+    origin = goal.goal_origin;
+    notes;
+    hidden;
+    reported = reported.Proof_tree.id;
+    root_bound = Pretty.predicate ~cfg:trimmed goal.goal_pred;
+  }
+
+let to_string (d : t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "error[%s]: %s\n" d.code d.primary);
+  Buffer.add_string buf (Printf.sprintf "  --> %s\n" (Span.to_string d.span));
+  Buffer.add_string buf
+    (Printf.sprintf "   | required by a bound introduced by %s\n" d.origin);
+  List.iter
+    (fun n ->
+      if String.length n > 0 && n.[0] >= '0' && n.[0] <= '9' then
+        Buffer.add_string buf (Printf.sprintf "   = note: %s\n" n)
+      else if String.length n >= 5 && String.sub n 0 5 = "help:" then
+        Buffer.add_string buf (Printf.sprintf "   = %s\n" n)
+      else Buffer.add_string buf (Printf.sprintf "note: %s\n" n))
+    d.notes;
+  Buffer.add_string buf
+    (Printf.sprintf "note: required by this bound: `%s`\n" d.root_bound);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12a comparison metric. *)
+
+(** "What is the minimal number of inference steps a developer would have
+    to manually trace to reach the root failure?" — the goal-step
+    distance between the compiler's reported node and the ground-truth
+    root cause. *)
+let distance_to_root_cause (tree : Proof_tree.t) (d : t) ~(root_cause : Predicate.t) :
+    int option =
+  let target =
+    Proof_tree.fold
+      (fun acc (n : Proof_tree.node) ->
+        match (acc, n.kind) with
+        | Some _, _ -> acc
+        | None, Proof_tree.Goal g when Predicate.equal g.pred root_cause -> Some n
+        | _ -> None)
+      None tree
+  in
+  Option.map
+    (fun t -> Proof_tree.goal_distance tree (Proof_tree.node tree d.reported) t)
+    target

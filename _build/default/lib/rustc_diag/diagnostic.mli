@@ -1,0 +1,34 @@
+(** Rust-compiler-style textual diagnostics — the baseline Argus is
+    evaluated against, reproducing the §2 information-losing heuristics:
+    reporting the deepest failure but stopping at branch points, eliding
+    the middle of long requirement chains, trimming paths possibly into
+    ambiguity, and honoring [#[on_unimplemented]] messages. *)
+
+open Trait_lang
+open Argus
+
+type t = {
+  code : string;  (** "E0277" | "E0271" | "E0275" | "E0283" *)
+  primary : string;
+  span : Span.t;
+  origin : string;  (** e.g. "the call to .load(conn)" *)
+  notes : string list;  (** "required for …" chain, post-elision *)
+  hidden : int;  (** count of elided chain entries *)
+  reported : Proof_tree.node_id;  (** the node the headline talks about *)
+  root_bound : string;
+}
+
+(** Walk from the root towards the deepest failure, stopping at branch
+    points; deepest first. *)
+val reported_chain : Proof_tree.t -> Proof_tree.node list
+
+(** Produce the diagnostic for a failed root goal's tree. *)
+val of_tree : Program.t -> Program.goal -> Proof_tree.t -> t
+
+val to_string : t -> string
+
+(** Fig. 12a metric: inference steps between the reported node and the
+    ground-truth root cause; [None] if the predicate is not in the
+    tree. *)
+val distance_to_root_cause :
+  Proof_tree.t -> t -> root_cause:Predicate.t -> int option

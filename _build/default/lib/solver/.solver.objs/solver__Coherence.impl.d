@@ -1,0 +1,1 @@
+lib/solver/coherence.ml: Array Decl Infer_ctx List Option Path Predicate Printf Program Res Solve Subst Trace Trait_lang Ty Unify

@@ -1,0 +1,1 @@
+lib/solver/coherence.mli: Decl Infer_ctx Path Program Solve Trace Trait_lang Ty

@@ -1,0 +1,1 @@
+lib/solver/infer_ctx.ml: Array List Predicate Program Region Subst Trait_lang Ty

@@ -1,0 +1,1 @@
+lib/solver/infer_ctx.mli: Decl Predicate Program Subst Trait_lang Ty

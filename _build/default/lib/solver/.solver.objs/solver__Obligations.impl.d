@@ -1,0 +1,1 @@
+lib/solver/obligations.ml: Hashtbl Infer_ctx List Option Program Res Solve Trace Trait_lang

@@ -1,0 +1,1 @@
+lib/solver/obligations.mli: Predicate Program Res Solve Trace Trait_lang

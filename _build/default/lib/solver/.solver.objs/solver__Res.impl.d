@@ -1,0 +1,1 @@
+lib/solver/res.ml: Fmt List

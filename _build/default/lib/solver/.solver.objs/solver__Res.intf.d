@@ -1,0 +1,1 @@
+lib/solver/res.mli: Format

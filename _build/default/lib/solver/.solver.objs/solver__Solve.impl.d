@@ -1,0 +1,1 @@
+lib/solver/solve.ml: Decl Hashtbl Infer_ctx List Option Path Predicate Pretty Program Res Result Span Subst Trace Trait_lang Ty Unify

@@ -1,0 +1,1 @@
+lib/solver/solve.mli: Infer_ctx Predicate Program Span Trace Trait_lang

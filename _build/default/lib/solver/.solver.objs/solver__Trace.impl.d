@@ -1,0 +1,1 @@
+lib/solver/trace.ml: Decl List Path Predicate Res Span Trait_lang Unify

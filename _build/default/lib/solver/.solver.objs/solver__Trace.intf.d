@@ -1,0 +1,1 @@
+lib/solver/trace.mli: Decl Path Predicate Res Span Trait_lang Unify

@@ -1,0 +1,1 @@
+lib/solver/unify.ml: Infer_ctx List Path Pretty Printf Region Result Stdlib String Trait_lang Ty

@@ -1,0 +1,1 @@
+lib/solver/unify.mli: Infer_ctx Pretty Region Stdlib Trait_lang Ty

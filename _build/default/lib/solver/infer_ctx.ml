@@ -1,0 +1,152 @@
+(** The inference context: a growable union-find table of type inference
+    variables with an undo log for snapshot/rollback.
+
+    Candidate probing is speculative — the solver tries a candidate under a
+    snapshot and rolls back unless the candidate is committed — exactly the
+    discipline rustc's [InferCtxt] uses. *)
+
+open Trait_lang
+
+type binding = Unbound | Link of int | Bound of Ty.t
+
+type undo = Set of int  (** variable [i] went from [Unbound] to something *)
+
+type t = {
+  mutable table : binding array;
+  mutable len : int;
+  mutable undo_log : undo list;
+  mutable snapshots : int list;  (** undo-log lengths at open snapshots *)
+}
+
+let create ?(first_var = 0) () =
+  let n = max 16 (first_var * 2) in
+  { table = Array.make n Unbound; len = first_var; undo_log = []; snapshots = [] }
+
+(** Create a context whose fresh variables start above every inference
+    variable mentioned in the program's goals (the parser numbers [_]
+    holes from 0). *)
+let for_program (p : Program.t) =
+  let max_var =
+    List.fold_left
+      (fun acc (g : Program.goal) ->
+        List.fold_left max acc (Predicate.infer_vars g.goal_pred))
+      (-1) (Program.goals p)
+  in
+  create ~first_var:(max_var + 1) ()
+
+let ensure_capacity t i =
+  if i >= Array.length t.table then begin
+    let table = Array.make (max (2 * Array.length t.table) (i + 1)) Unbound in
+    Array.blit t.table 0 table 0 t.len;
+    t.table <- table
+  end;
+  if i >= t.len then t.len <- i + 1
+
+let fresh t =
+  let i = t.len in
+  ensure_capacity t i;
+  i
+
+let fresh_ty t = Ty.Infer (fresh t)
+
+let num_vars t = t.len
+
+(* --- snapshots ------------------------------------------------------ *)
+
+type snapshot = int  (** length of the undo log when opened *)
+
+let snapshot t : snapshot =
+  let mark = List.length t.undo_log in
+  t.snapshots <- mark :: t.snapshots;
+  mark
+
+let rollback_to t (mark : snapshot) =
+  let rec pop log n = if n <= mark then log else match log with
+    | Set i :: rest ->
+        t.table.(i) <- Unbound;
+        pop rest (n - 1)
+    | [] -> []
+  in
+  t.undo_log <- pop t.undo_log (List.length t.undo_log);
+  t.snapshots <- List.filter (fun m -> m < mark) t.snapshots
+
+(** Commit: simply forget the snapshot; bindings stay. *)
+let commit t (mark : snapshot) = t.snapshots <- List.filter (fun m -> m < mark) t.snapshots
+
+(* --- resolution ------------------------------------------------------ *)
+
+(** Follow links to the representative of variable [i]. *)
+let rec root t i =
+  ensure_capacity t i;
+  match t.table.(i) with Link j -> root t j | _ -> i
+
+let probe t i =
+  let r = root t i in
+  match t.table.(r) with Bound ty -> Some ty | _ -> None
+
+let bind t i ty =
+  let r = root t i in
+  assert (t.table.(r) = Unbound);
+  t.table.(r) <- Bound ty;
+  t.undo_log <- Set r :: t.undo_log
+
+let link t i j =
+  let ri = root t i and rj = root t j in
+  if ri <> rj then begin
+    assert (t.table.(ri) = Unbound);
+    t.table.(ri) <- Link rj;
+    t.undo_log <- Set ri :: t.undo_log
+  end
+
+(** Structurally resolve a type: replace every bound inference variable by
+    its (recursively resolved) value. *)
+let rec resolve t (ty : Ty.t) : Ty.t =
+  match ty with
+  | Unit | Bool | Int | Uint | Float | Str | Param _ -> ty
+  | Infer i -> (
+      let r = root t i in
+      match t.table.(r) with
+      | Bound b -> resolve t b
+      | _ -> if r = i then ty else Infer r)
+  | Ref (re, t') -> Ref (re, resolve t t')
+  | RefMut (re, t') -> RefMut (re, resolve t t')
+  | Ctor (p, args) -> Ctor (p, List.map (resolve_arg t) args)
+  | Tuple ts -> Tuple (List.map (resolve t) ts)
+  | FnPtr (args, ret) -> FnPtr (List.map (resolve t) args, resolve t ret)
+  | FnItem (p, args, ret) -> FnItem (p, List.map (resolve t) args, resolve t ret)
+  | Dynamic tr -> Dynamic (resolve_trait_ref t tr)
+  | Proj p -> Proj (resolve_projection t p)
+
+and resolve_arg t : Ty.arg -> Ty.arg = function
+  | Ty ty -> Ty (resolve t ty)
+  | Lifetime _ as l -> l
+
+and resolve_trait_ref t (tr : Ty.trait_ref) : Ty.trait_ref =
+  { tr with args = List.map (resolve_arg t) tr.args }
+
+and resolve_projection t (p : Ty.projection) : Ty.projection =
+  {
+    p with
+    self_ty = resolve t p.self_ty;
+    proj_trait = resolve_trait_ref t p.proj_trait;
+    assoc_args = List.map (resolve_arg t) p.assoc_args;
+  }
+
+let resolve_predicate t (p : Predicate.t) : Predicate.t =
+  match p with
+  | Trait { self_ty; trait_ref } ->
+      Trait { self_ty = resolve t self_ty; trait_ref = resolve_trait_ref t trait_ref }
+  | Projection { projection; term } ->
+      Projection { projection = resolve_projection t projection; term = resolve t term }
+  | TypeOutlives (ty, r) -> TypeOutlives (resolve t ty, r)
+  | RegionOutlives _ | ObjectSafe _ | ConstEvaluatable _ -> p
+  | WellFormed ty -> WellFormed (resolve t ty)
+  | NormalizesTo (pr, v) -> NormalizesTo (resolve_projection t pr, v)
+
+(** Instantiate a declaration's generics with fresh inference variables,
+    returning the substitution. *)
+let instantiate_generics t (g : Trait_lang.Decl.generics) : Subst.t =
+  let s =
+    List.fold_left (fun s p -> Subst.add_ty p (fresh_ty t) s) Subst.empty g.ty_params
+  in
+  List.fold_left (fun s l -> Subst.add_region l Region.Erased s) s g.lifetimes

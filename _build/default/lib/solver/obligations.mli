@@ -1,0 +1,43 @@
+(** The obligation engine: fixpoint solving of a program's root goals.
+
+    §4: ambiguous predicates remain in the queue until proved or until
+    inference finishes, at which point survivors become failures; each
+    round's re-evaluation appears as a new snapshot in [attempts] for the
+    extraction layer's implication heuristic. *)
+
+open Trait_lang
+
+type status =
+  | Proved
+  | Disproved  (** a hard trait error *)
+  | Ambiguous  (** still maybe when inference finished — also an error *)
+
+type goal_report = {
+  goal : Program.goal;
+  attempts : Trace.goal_node list;  (** one tree per solving round, oldest first *)
+  final : Trace.goal_node;
+  status : status;
+}
+
+type report = {
+  reports : goal_report list;
+  rounds : int;  (** fixpoint iterations used *)
+  solver : Solve.t;  (** retains the inference context for resolution *)
+}
+
+val status_of_result : Res.t -> status
+
+(** Solve goals to fixpoint on an existing solver state — the reusable
+    core of {!solve_program}, also driven by the type checker. *)
+val solve_goals :
+  ?max_rounds:int -> Solve.t -> Program.goal list -> goal_report list * int
+
+(** Solve all root goals of a program to fixpoint.  [env] supplies
+    in-scope where-clauses; [max_rounds] bounds the fixpoint. *)
+val solve_program :
+  ?cfg:Solve.config -> ?env:Predicate.t list -> ?max_rounds:int -> Program.t -> report
+
+(** The goals that did not prove. *)
+val errors : report -> goal_report list
+
+val all_proved : report -> bool

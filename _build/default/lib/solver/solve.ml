@@ -1,0 +1,731 @@
+(** The trait solver: given a context and a predicate, produce the trait
+    inference tree 𝒢 (Fig. 5).
+
+    The solver mirrors the architecture of rustc's ("next") trait solver at
+    the level of detail the paper depends on:
+
+    - {b candidate assembly}: in-scope where-clauses (param-env), impl
+      blocks, and built-in impls (fn pointers/items for the [Fn] family,
+      [Sized]) are all probed as alternatives — the OR branching of the
+      AND/OR tree;
+    - {b speculative probing}: each candidate is evaluated under an
+      inference snapshot and rolled back; a uniquely successful candidate
+      is then re-run and committed, which is how trait solving guides type
+      inference (the Bevy marker-type deduction of §2.3);
+    - {b normalization}: associated-type projections are normalized through
+      impls via *stateful* [NormalizesTo] nodes whose value is captured
+      after their subtree executes (§4);
+    - {b overflow}: revisiting a predicate already on the evaluation stack,
+      or exceeding the recursion limit, fails with an overflow marker
+      (E0275, the §2.2 infinite recursion). *)
+
+open Trait_lang
+
+type config = {
+  depth_limit : int;  (** recursion limit; rustc's default is 128 *)
+  enable_builtins : bool;  (** built-in [Fn]/[Sized] candidates *)
+}
+
+let default_config = { depth_limit = 48; enable_builtins = true }
+
+type t = {
+  program : Program.t;
+  icx : Infer_ctx.t;
+  cfg : config;
+  env : Predicate.t list;  (** in-scope where-clauses, supertrait-elaborated *)
+  mutable stack : Predicate.t list;  (** in-progress predicates, for cycles *)
+}
+
+(** Result of deeply normalizing a type: the rewritten type plus the
+    stateful [NormalizesTo] nodes generated along the way. *)
+type norm_result = { norm_ty' : Ty.t; norm_nodes : Trace.goal_node list }
+
+(** Result of normalizing one projection. *)
+type proj_norm = { norm_ty : Ty.t option; norm_node : Trace.goal_node }
+
+(* ------------------------------------------------------------------ *)
+(* Supertrait elaboration: if [τ: T] is in scope and [trait T: Super],
+   then [τ: Super] is also usable as a candidate. *)
+
+let elaborate_env program (env : Predicate.t list) : Predicate.t list =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec add (p : Predicate.t) =
+    let key = Pretty.predicate ~cfg:Pretty.verbose p in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := p :: !out;
+      match p with
+      | Predicate.Trait { self_ty; trait_ref } -> (
+          match Program.find_trait program trait_ref.trait with
+          | None -> ()
+          | Some tr ->
+              let subst =
+                let s = Subst.add_ty "Self" self_ty Subst.empty in
+                List.fold_left2
+                  (fun s param arg ->
+                    match arg with Ty.Ty t -> Subst.add_ty param t s | _ -> s)
+                  s tr.tr_generics.ty_params
+                  (List.filter (function Ty.Ty _ -> true | _ -> false) trait_ref.args)
+              in
+              List.iter
+                (fun super ->
+                  add (Predicate.Trait { self_ty; trait_ref = Subst.trait_ref subst super }))
+                tr.tr_supertraits)
+      | _ -> ()
+    end
+  in
+  List.iter add env;
+  List.rev !out
+
+let create ?(cfg = default_config) ?(env = []) program =
+  {
+    program;
+    icx = Infer_ctx.for_program program;
+    cfg;
+    env = elaborate_env program env;
+    stack = [];
+  }
+
+let with_icx ?(cfg = default_config) ?(env = []) program icx =
+  { program; icx; cfg; env = elaborate_env program env; stack = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let leaf ~depth ~prov ?(flags = []) pred result : Trace.goal_node =
+  { pred; result; candidates = []; depth; provenance = prov; flags }
+
+let is_fn_family trait_path =
+  match Path.name trait_path with "Fn" | "FnMut" | "FnOnce" -> true | _ -> false
+
+let is_sized trait_path = Path.name trait_path = "Sized"
+
+(** Is the type's head known (not an unresolved inference variable)? *)
+let head_known icx ty =
+  match Unify.shallow icx ty with Ty.Infer _ -> false | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* The mutually recursive solver core. *)
+
+let rec solve_goal st ~depth prov (pred0 : Predicate.t) : Trace.goal_node =
+  let pred = Infer_ctx.resolve_predicate st.icx pred0 in
+  if depth > st.cfg.depth_limit then
+    leaf ~depth ~prov ~flags:[ Trace.Depth_limit; Trace.Overflow ] pred Res.No
+  else if cycles st pred then leaf ~depth ~prov ~flags:[ Trace.Overflow ] pred Res.No
+  else begin
+    st.stack <- pred :: st.stack;
+    let node =
+      match pred with
+      | Predicate.Trait tp -> solve_trait st ~depth ~prov pred tp
+      | Predicate.Projection pp -> solve_projection st ~depth ~prov pred pp
+      | Predicate.TypeOutlives (ty, _) ->
+          leaf ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
+      | Predicate.RegionOutlives _ -> leaf ~depth ~prov pred Res.Yes
+      | Predicate.WellFormed ty ->
+          leaf ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
+      | Predicate.ObjectSafe _ | Predicate.ConstEvaluatable _ ->
+          leaf ~depth ~prov pred Res.Yes
+      | Predicate.NormalizesTo (proj, var) ->
+          let n = normalize_proj st ~depth ~prov proj in
+          (match n.norm_ty with
+          | Some ty when Res.is_yes n.norm_node.result ->
+              (* capture the value into the output variable *)
+              (match Unify.unify st.icx (Ty.Infer var) ty with
+              | Ok () -> ()
+              | Error _ -> ())
+          | _ -> ());
+          { n.norm_node with provenance = prov; flags = Trace.Stateful :: n.norm_node.flags }
+    in
+    st.stack <- List.tl st.stack;
+    node
+  end
+
+and cycles st pred =
+  match pred with
+  | Predicate.Trait _ | Predicate.Projection _ | Predicate.NormalizesTo _ ->
+      List.exists (Predicate.equal pred) st.stack
+  | _ -> false
+
+(* --- trait predicates --------------------------------------------- *)
+
+and solve_trait st ~depth ~prov pred (tp : Predicate.trait_pred) : Trace.goal_node =
+  let self = Unify.shallow st.icx tp.self_ty in
+  match self with
+  | Ty.Infer _ ->
+      (* Cannot enumerate candidates for an unknown self type: ambiguous.
+         The obligation engine will retry once inference progresses. *)
+      leaf ~depth ~prov pred Res.Maybe
+  | _ ->
+      let env_cands =
+        List.filter_map
+          (fun envp ->
+            match envp with
+            | Predicate.Trait etp when Path.equal etp.trait_ref.trait tp.trait_ref.trait ->
+                Some (eval_env_candidate st ~commit:false envp etp tp)
+            | _ -> None)
+          st.env
+      in
+      let impl_cands =
+        Program.impls_of_trait st.program tp.trait_ref.trait
+        |> List.map (fun impl -> eval_impl_candidate st ~depth ~commit:false impl tp)
+      in
+      let builtin_cands =
+        if st.cfg.enable_builtins then builtin_candidates st ~depth ~commit:false tp
+        else []
+      in
+      let candidates = env_cands @ impl_cands @ builtin_cands in
+      select st ~depth ~prov pred tp candidates
+
+(** Candidate selection: commit a uniquely successful candidate so its
+    inference-variable bindings guide the rest of solving. *)
+and select st ~depth ~prov pred tp candidates : Trace.goal_node =
+  let yes = List.filter (fun (c : Trace.cand_node) -> Res.is_yes c.cand_result) candidates in
+  let env_yes =
+    List.filter
+      (fun (c : Trace.cand_node) ->
+        match c.source with Trace.Cand_param_env _ -> true | _ -> false)
+      yes
+  in
+  let result, flags, to_commit =
+    match (env_yes, yes) with
+    | c :: _, _ -> (Res.Yes, [], Some c)  (* param-env candidates take priority *)
+    | [], [ c ] -> (Res.Yes, [], Some c)
+    | [], _ :: _ :: _ -> (Res.Maybe, [ Trace.Ambiguous_selection ], None)
+    | [], [] ->
+        if List.exists (fun (c : Trace.cand_node) -> Res.is_maybe c.cand_result) candidates
+        then (Res.Maybe, [], None)
+        else (Res.No, [], None)
+  in
+  (match to_commit with
+  | Some c -> commit_candidate st ~depth c tp
+  | None -> ());
+  { pred; result; candidates; depth; provenance = prov; flags }
+
+and commit_candidate st ~depth (c : Trace.cand_node) tp =
+  match c.source with
+  | Trace.Cand_impl impl -> ignore (eval_impl_candidate st ~depth ~commit:true impl tp)
+  | Trace.Cand_param_env envp -> (
+      match envp with
+      | Predicate.Trait etp -> ignore (eval_env_candidate st ~commit:true envp etp tp)
+      | _ -> ())
+  | Trace.Cand_builtin _ -> ignore (builtin_recommit st ~depth c tp)
+
+and eval_env_candidate st ~commit envp (etp : Predicate.trait_pred)
+    (tp : Predicate.trait_pred) : Trace.cand_node =
+  let snap = Infer_ctx.snapshot st.icx in
+  let outcome =
+    match Unify.unify st.icx tp.self_ty etp.self_ty with
+    | Error f -> Error f
+    | Ok () -> Unify.unify_trait_refs st.icx tp.trait_ref etp.trait_ref
+  in
+  let node : Trace.cand_node =
+    match outcome with
+    | Ok () ->
+        { source = Trace.Cand_param_env envp; cand_result = Res.Yes; subgoals = []; failure = None }
+    | Error f ->
+        { source = Trace.Cand_param_env envp; cand_result = Res.No; subgoals = []; failure = Some f }
+  in
+  if commit && Result.is_ok outcome then Infer_ctx.commit st.icx snap
+  else Infer_ctx.rollback_to st.icx snap;
+  node
+
+and eval_impl_candidate st ~depth ~commit (impl : Decl.impl) (tp : Predicate.trait_pred) :
+    Trace.cand_node =
+  let snap = Infer_ctx.snapshot st.icx in
+  let subst = Infer_ctx.instantiate_generics st.icx impl.impl_generics in
+  let head_self = Subst.ty subst impl.impl_self in
+  let head_trait = Subst.trait_ref subst impl.impl_trait in
+  (* Normalize projections on both sides of the head before matching. *)
+  let n_self = deep_normalize st ~depth tp.self_ty in
+  let n_head = deep_normalize st ~depth head_self in
+  let norm_nodes = n_self.norm_nodes @ n_head.norm_nodes in
+  let head_outcome =
+    match Unify.unify st.icx n_self.norm_ty' n_head.norm_ty' with
+    | Error f -> Error f
+    | Ok () -> unify_trait_refs_norm st ~depth tp.trait_ref head_trait
+  in
+  let node =
+    match head_outcome with
+    | Error f ->
+        {
+          Trace.source = Trace.Cand_impl impl;
+          cand_result = Res.No;
+          subgoals = norm_nodes;
+          failure = Some f;
+        }
+    | Ok extra_nodes ->
+        let subgoals =
+          List.mapi
+            (fun idx wc ->
+              solve_goal st ~depth:(depth + 1)
+                (Trace.Impl_where { impl_id = impl.impl_id; clause_idx = idx })
+                (Subst.predicate subst wc))
+            impl.impl_generics.where_clauses
+        in
+        let all = norm_nodes @ extra_nodes @ subgoals in
+        let result =
+          Res.conj (List.map (fun (g : Trace.goal_node) -> g.result) all)
+        in
+        { Trace.source = Trace.Cand_impl impl; cand_result = result; subgoals = all; failure = None }
+  in
+  if commit && Res.is_yes node.cand_result then Infer_ctx.commit st.icx snap
+  else Infer_ctx.rollback_to st.icx snap;
+  node
+
+(** Unify two trait refs, routing projection/rigid clashes through
+    normalization.  Returns the normalization nodes generated. *)
+and unify_trait_refs_norm st ~depth (a : Ty.trait_ref) (b : Ty.trait_ref) :
+    (Trace.goal_node list, Unify.failure) result =
+  if not (Path.equal a.trait b.trait) then
+    Error (Unify.Head_mismatch (Ty.Dynamic a, Ty.Dynamic b))
+  else if List.length a.args <> List.length b.args then
+    Error (Unify.Arity (Ty.Dynamic a, Ty.Dynamic b))
+  else
+    let rec go acc xs ys =
+      match (xs, ys) with
+      | [], [] -> Ok (List.rev acc)
+      | x :: xs, y :: ys -> (
+          match (x, y) with
+          | Ty.Lifetime _, Ty.Lifetime _ -> go acc xs ys
+          | Ty.Ty tx, Ty.Ty ty -> (
+              let nx = deep_normalize st ~depth tx in
+              let ny = deep_normalize st ~depth ty in
+              let acc = List.rev_append ny.norm_nodes (List.rev_append nx.norm_nodes acc) in
+              match Unify.unify st.icx nx.norm_ty' ny.norm_ty' with
+              | Ok () -> go acc xs ys
+              | Error f -> Error f)
+          | _ -> Error (Unify.Arity (Ty.Dynamic a, Ty.Dynamic b)))
+      | _ -> Error (Unify.Arity (Ty.Dynamic a, Ty.Dynamic b))
+    in
+    go [] a.args b.args
+
+(* --- built-in candidates ------------------------------------------- *)
+
+and builtin_candidates st ~depth ~commit (tp : Predicate.trait_pred) :
+    Trace.cand_node list =
+  let self = Infer_ctx.resolve st.icx tp.self_ty in
+  if is_sized tp.trait_ref.trait then [ builtin_sized self ]
+  else if is_fn_family tp.trait_ref.trait then begin
+    match self with
+    | Ty.FnPtr (inputs, _) | Ty.FnItem (_, inputs, _) ->
+        [ builtin_fn st ~depth ~commit tp inputs ]
+    | _ -> []
+  end
+  else if Path.name tp.trait_ref.trait = "Tuple" then begin
+    match self with
+    | Ty.Tuple _ | Ty.Unit ->
+        [
+          {
+            Trace.source = Trace.Cand_builtin "tuple";
+            cand_result = Res.Yes;
+            subgoals = [];
+            failure = None;
+          };
+        ]
+    | _ -> []
+  end
+  else []
+
+and builtin_sized (self : Ty.t) : Trace.cand_node =
+  let result = match self with Ty.Dynamic _ -> Res.No | _ -> Res.Yes in
+  { source = Trace.Cand_builtin "sized"; cand_result = result; subgoals = []; failure = None }
+
+(** [fn(A, B) -> R] implements [Fn<(A, B)>]; the trait's single type
+    argument is the tupled inputs.  Projections in the expected argument
+    tuple (e.g. [Fn<(<I as Iterator>::Item,)>]) are normalized first. *)
+and builtin_fn st ~depth ~commit (tp : Predicate.trait_pred) (inputs : Ty.t list) :
+    Trace.cand_node =
+  let snap = Infer_ctx.snapshot st.icx in
+  let expected = Ty.tuple inputs in
+  let norm_nodes, outcome =
+    match tp.trait_ref.args with
+    | [ Ty.Ty args_ty ] ->
+        let n = deep_normalize st ~depth args_ty in
+        (n.norm_nodes, Unify.unify st.icx n.norm_ty' expected)
+    | [] -> ([], Ok ())
+    | _ -> ([], Error (Unify.Arity (tp.self_ty, expected)))
+  in
+  let sub_result =
+    Res.conj (List.map (fun (g : Trace.goal_node) -> g.result) norm_nodes)
+  in
+  let node : Trace.cand_node =
+    match outcome with
+    | Ok () ->
+        {
+          source = Trace.Cand_builtin "fn-item";
+          cand_result = sub_result;
+          subgoals = norm_nodes;
+          failure = None;
+        }
+    | Error f ->
+        {
+          source = Trace.Cand_builtin "fn-item";
+          cand_result = Res.No;
+          subgoals = norm_nodes;
+          failure = Some f;
+        }
+  in
+  if commit && Res.is_yes node.cand_result then Infer_ctx.commit st.icx snap
+  else Infer_ctx.rollback_to st.icx snap;
+  node
+
+and builtin_recommit st ~depth (c : Trace.cand_node) (tp : Predicate.trait_pred) : unit =
+  ignore depth;
+  match c.source with
+  | Trace.Cand_builtin "fn-item" -> (
+      match Infer_ctx.resolve st.icx tp.self_ty with
+      | Ty.FnPtr (inputs, _) | Ty.FnItem (_, inputs, _) ->
+          ignore (builtin_fn st ~depth ~commit:true tp inputs)
+      | _ -> ())
+  | _ -> ()
+
+(* --- projection predicates ----------------------------------------- *)
+
+and solve_projection st ~depth ~prov pred (pp : Predicate.proj_pred) : Trace.goal_node =
+  let proj = Infer_ctx.resolve_projection st.icx pp.projection in
+  if not (head_known st.icx proj.self_ty) then leaf ~depth ~prov pred Res.Maybe
+  else begin
+    (* Built-in: <fn-like as Fn<..>>::Output normalizes to the return. *)
+    let builtin =
+      if is_fn_family proj.proj_trait.trait && proj.assoc = "Output" then
+        match Unify.shallow st.icx proj.self_ty with
+        | Ty.FnPtr (_, ret) | Ty.FnItem (_, _, ret) ->
+            Some (eval_proj_builtin st ret pp)
+        | _ -> None
+      else None
+    in
+    let impl_cands =
+      Program.impls_of_trait st.program proj.proj_trait.trait
+      |> List.map (fun impl -> eval_proj_impl_candidate st ~depth ~commit:false impl proj pp)
+    in
+    let candidates = impl_cands @ Option.to_list builtin in
+    let yes = List.filter (fun (c : Trace.cand_node) -> Res.is_yes c.cand_result) candidates in
+    let result, flags, to_commit =
+      match yes with
+      | [ c ] -> (Res.Yes, [], Some c)
+      | _ :: _ :: _ -> (Res.Maybe, [ Trace.Ambiguous_selection ], None)
+      | [] ->
+          if List.exists (fun (c : Trace.cand_node) -> Res.is_maybe c.cand_result) candidates
+          then (Res.Maybe, [], None)
+          else (Res.No, [], None)
+    in
+    (match to_commit with
+    | Some { source = Trace.Cand_impl impl; _ } ->
+        ignore (eval_proj_impl_candidate st ~depth ~commit:true impl proj pp)
+    | Some { source = Trace.Cand_builtin _; _ } -> (
+        match Unify.shallow st.icx proj.self_ty with
+        | Ty.FnPtr (_, ret) | Ty.FnItem (_, _, ret) ->
+            ignore (Unify.unify st.icx pp.term ret)
+        | _ -> ())
+    | _ -> ());
+    { pred; result; candidates; depth; provenance = prov; flags }
+  end
+
+and eval_proj_builtin st ret (pp : Predicate.proj_pred) : Trace.cand_node =
+  let snap = Infer_ctx.snapshot st.icx in
+  let outcome = Unify.unify st.icx pp.term ret in
+  let node : Trace.cand_node =
+    match outcome with
+    | Ok () ->
+        { source = Trace.Cand_builtin "fn-output"; cand_result = Res.Yes; subgoals = []; failure = None }
+    | Error f ->
+        { source = Trace.Cand_builtin "fn-output"; cand_result = Res.No; subgoals = []; failure = Some f }
+  in
+  Infer_ctx.rollback_to st.icx snap;
+  node
+
+(** A projection candidate: the impl must (1) head-match the projection's
+    self type and trait args, (2) satisfy its where-clauses, and (3) have
+    its associated-type binding unify with the expected term — a failure
+    at step (3) is rustc's E0271 "type mismatch resolving". *)
+and eval_proj_impl_candidate st ~depth ~commit (impl : Decl.impl) (proj : Ty.projection)
+    (pp : Predicate.proj_pred) : Trace.cand_node =
+  let snap = Infer_ctx.snapshot st.icx in
+  let subst = Infer_ctx.instantiate_generics st.icx impl.impl_generics in
+  let head_self = Subst.ty subst impl.impl_self in
+  let head_trait = Subst.trait_ref subst impl.impl_trait in
+  let n_self = deep_normalize st ~depth proj.self_ty in
+  let head_outcome =
+    match Unify.unify st.icx n_self.norm_ty' head_self with
+    | Error f -> Error f
+    | Ok () -> (
+        match unify_trait_refs_norm st ~depth proj.proj_trait head_trait with
+        | Error f -> Error f
+        | Ok nodes -> Ok nodes)
+  in
+  let node =
+    match head_outcome with
+    | Error f ->
+        {
+          Trace.source = Trace.Cand_impl impl;
+          cand_result = Res.No;
+          subgoals = n_self.norm_nodes;
+          failure = Some f;
+        }
+    | Ok extra -> (
+        match binding_of_impl st impl subst proj.assoc with
+        | None ->
+            {
+              Trace.source = Trace.Cand_impl impl;
+              cand_result = Res.No;
+              subgoals = n_self.norm_nodes @ extra;
+              failure =
+                Some (Unify.Projection_ambiguous (proj, pp.term));
+            }
+        | Some binding_ty ->
+            let subgoals =
+              List.mapi
+                (fun idx wc ->
+                  solve_goal st ~depth:(depth + 1)
+                    (Trace.Impl_where { impl_id = impl.impl_id; clause_idx = idx })
+                    (Subst.predicate subst wc))
+                impl.impl_generics.where_clauses
+            in
+            let n_binding = deep_normalize st ~depth:(depth + 1) binding_ty in
+            let term_outcome = Unify.unify st.icx pp.term n_binding.norm_ty' in
+            let all = n_self.norm_nodes @ extra @ subgoals @ n_binding.norm_nodes in
+            let sub_result = Res.conj (List.map (fun (g : Trace.goal_node) -> g.result) all) in
+            (match term_outcome with
+            | Ok () ->
+                {
+                  Trace.source = Trace.Cand_impl impl;
+                  cand_result = sub_result;
+                  subgoals = all;
+                  failure = None;
+                }
+            | Error f ->
+                {
+                  Trace.source = Trace.Cand_impl impl;
+                  cand_result = Res.No;
+                  subgoals = all;
+                  failure = Some f;
+                }))
+  in
+  if commit && Res.is_yes node.Trace.cand_result then Infer_ctx.commit st.icx snap
+  else Infer_ctx.rollback_to st.icx snap;
+  node
+
+(** Look up the impl's binding for [assoc], falling back to the trait's
+    declared default. *)
+and binding_of_impl st (impl : Decl.impl) subst assoc : Ty.t option =
+  match
+    List.find_opt (fun (b : Decl.assoc_ty_binding) -> b.bind_name = assoc) impl.impl_assocs
+  with
+  | Some b -> Some (Subst.ty subst b.bind_ty)
+  | None -> (
+      match Program.find_trait st.program impl.impl_trait.trait with
+      | None -> None
+      | Some tr -> (
+          match
+            List.find_opt (fun (a : Decl.assoc_ty_decl) -> a.assoc_name = assoc) tr.tr_assocs
+          with
+          | Some { assoc_default = Some d; _ } ->
+              (* default may mention Self and the trait's params *)
+              let s = Subst.add_ty "Self" (Subst.ty subst impl.impl_self) Subst.empty in
+              Some (Subst.ty s (Subst.ty subst d))
+          | _ -> None))
+
+(* --- normalization -------------------------------------------------- *)
+
+and deep_normalize st ~depth (ty : Ty.t) : norm_result =
+  let nodes = ref [] in
+  let rec go depth ty =
+    let ty = Infer_ctx.resolve st.icx ty in
+    match (ty : Ty.t) with
+    | Unit | Bool | Int | Uint | Float | Str | Param _ | Infer _ -> ty
+    | Ref (r, t) -> Ref (r, go depth t)
+    | RefMut (r, t) -> RefMut (r, go depth t)
+    | Ctor (p, args) -> Ctor (p, List.map (go_arg depth) args)
+    | Tuple ts -> Tuple (List.map (go depth) ts)
+    | FnPtr (args, ret) -> FnPtr (List.map (go depth) args, go depth ret)
+    | FnItem (p, args, ret) -> FnItem (p, List.map (go depth) args, go depth ret)
+    | Dynamic tr -> Dynamic { tr with args = List.map (go_arg depth) tr.args }
+    | Proj p ->
+        let p = { p with self_ty = go depth p.self_ty } in
+        if depth > st.cfg.depth_limit then begin
+          let fresh = Infer_ctx.fresh st.icx in
+          nodes :=
+            !nodes
+            @ [
+                leaf ~depth ~prov:Trace.Normalization
+                  ~flags:[ Trace.Stateful; Trace.Depth_limit; Trace.Overflow ]
+                  (Predicate.NormalizesTo (p, fresh))
+                  Res.No;
+              ];
+          Proj p
+        end
+        else begin
+          let n = normalize_proj st ~depth ~prov:Trace.Normalization p in
+          nodes := !nodes @ [ n.norm_node ];
+          match n.norm_ty with Some t -> go (depth + 1) t | None -> Proj p
+        end
+  and go_arg depth : Ty.arg -> Ty.arg = function
+    | Ty.Ty t -> Ty.Ty (go depth t)
+    | Ty.Lifetime _ as l -> l
+  in
+  let norm_ty' = go depth ty in
+  { norm_ty'; norm_nodes = !nodes }
+
+and normalize_proj st ~depth ~prov (proj : Ty.projection) : proj_norm =
+  let fresh = Infer_ctx.fresh st.icx in
+  let pred = Predicate.NormalizesTo (proj, fresh) in
+  if not (head_known st.icx proj.self_ty) then
+    { norm_ty = None; norm_node = leaf ~depth ~prov ~flags:[ Trace.Stateful ] pred Res.Maybe }
+  else if cycles st pred then
+    {
+      norm_ty = None;
+      norm_node = leaf ~depth ~prov ~flags:[ Trace.Stateful; Trace.Overflow ] pred Res.No;
+    }
+  else begin
+    st.stack <- pred :: st.stack;
+    (* Built-in Fn::Output *)
+    let result =
+      if is_fn_family proj.proj_trait.trait && proj.assoc = "Output" then
+        match Unify.shallow st.icx proj.self_ty with
+        | Ty.FnPtr (_, ret) | Ty.FnItem (_, _, ret) ->
+            Some
+              {
+                norm_ty = Some ret;
+                norm_node =
+                  {
+                    pred;
+                    result = Res.Yes;
+                    candidates =
+                      [
+                        {
+                          source = Trace.Cand_builtin "fn-output";
+                          cand_result = Res.Yes;
+                          subgoals = [];
+                          failure = None;
+                        };
+                      ];
+                    depth;
+                    provenance = prov;
+                    flags = [ Trace.Stateful ];
+                  };
+              }
+        | _ -> None
+      else None
+    in
+    let out =
+      match result with
+      | Some r -> r
+      | None -> normalize_via_impls st ~depth ~prov pred proj
+    in
+    st.stack <- List.tl st.stack;
+    out
+  end
+
+and normalize_via_impls st ~depth ~prov pred (proj : Ty.projection) : proj_norm =
+  let impls = Program.impls_of_trait st.program proj.proj_trait.trait in
+  (* Probe which impls head-match. *)
+  let probe impl =
+    let snap = Infer_ctx.snapshot st.icx in
+    let subst = Infer_ctx.instantiate_generics st.icx impl.Decl.impl_generics in
+    let ok =
+      (match Unify.unify st.icx proj.self_ty (Subst.ty subst impl.impl_self) with
+      | Ok () ->
+          Result.is_ok
+            (Unify.unify_trait_refs st.icx proj.proj_trait
+               (Subst.trait_ref subst impl.impl_trait))
+      | Error _ -> false)
+    in
+    Infer_ctx.rollback_to st.icx snap;
+    ok
+  in
+  match List.filter probe impls with
+  | [] ->
+      {
+        norm_ty = None;
+        norm_node =
+          {
+            pred;
+            result = Res.No;
+            candidates = [];
+            depth;
+            provenance = prov;
+            flags = [ Trace.Stateful ];
+          };
+      }
+  | _ :: _ :: _ ->
+      (* more than one possible impl: stuck until inference decides *)
+      {
+        norm_ty = None;
+        norm_node =
+          leaf ~depth ~prov ~flags:[ Trace.Stateful; Trace.Ambiguous_selection ] pred
+            Res.Maybe;
+      }
+  | [ impl ] ->
+      (* Commit the unique impl: unify heads for real, then solve its
+         where-clauses as the node's subtree. *)
+      let subst = Infer_ctx.instantiate_generics st.icx impl.impl_generics in
+      let _ = Unify.unify st.icx proj.self_ty (Subst.ty subst impl.impl_self) in
+      let _ =
+        Unify.unify_trait_refs st.icx proj.proj_trait (Subst.trait_ref subst impl.impl_trait)
+      in
+      let subgoals =
+        List.mapi
+          (fun idx wc ->
+            solve_goal st ~depth:(depth + 1)
+              (Trace.Impl_where { impl_id = impl.impl_id; clause_idx = idx })
+              (Subst.predicate subst wc))
+          impl.impl_generics.where_clauses
+      in
+      let sub_result = Res.conj (List.map (fun (g : Trace.goal_node) -> g.result) subgoals) in
+      let binding = binding_of_impl st impl subst proj.assoc in
+      let cand : Trace.cand_node =
+        {
+          source = Trace.Cand_impl impl;
+          cand_result = sub_result;
+          subgoals;
+          failure = None;
+        }
+      in
+      let node : Trace.goal_node =
+        {
+          pred;
+          result = (if binding = None then Res.No else sub_result);
+          candidates = [ cand ];
+          depth;
+          provenance = prov;
+          flags = [ Trace.Stateful ];
+        }
+      in
+      { norm_ty = binding; norm_node = node }
+
+(* ------------------------------------------------------------------ *)
+
+(** Solve a single predicate as a root goal. *)
+let solve st ?(origin = "this expression") ?(span = Span.dummy) pred =
+  solve_goal st ~depth:0 (Trace.Root { origin; span }) pred
+
+(** Speculative probing (§4): method resolution asks the solver a
+    sequence of *soft* predicates — "does the receiver implement
+    [ToString]?  If not, [CustomToString]?" — committing only the first
+    success.  All predicates evaluated before (and including) the chosen
+    one are returned; the failing ones are flagged [Speculative] so the
+    extraction layer can hide them, exactly the heuristic the paper
+    describes ("Argus uses a heuristic to reverse-engineer the predicates
+    evaluated in a program and attempts to show as few as possible").
+
+    Returns the trace nodes in evaluation order and the index of the
+    committed predicate, if any. *)
+let solve_probe st ?(origin = "method resolution") ?(span = Span.dummy)
+    (alternatives : Predicate.t list) : Trace.goal_node list * int option =
+  let rec go idx acc = function
+    | [] -> (List.rev acc, None)
+    | pred :: rest ->
+        let snap = Infer_ctx.snapshot st.icx in
+        let node = solve_goal st ~depth:0 (Trace.Root { origin; span }) pred in
+        if Res.is_yes node.result then begin
+          Infer_ctx.commit st.icx snap;
+          (List.rev (node :: acc), Some idx)
+        end
+        else begin
+          Infer_ctx.rollback_to st.icx snap;
+          let node = { node with flags = Trace.Speculative :: node.flags } in
+          go (idx + 1) (node :: acc) rest
+        end
+  in
+  go 0 [] alternatives

@@ -1,0 +1,63 @@
+(** The raw trait-inference trace: the AND/OR tree of Fig. 5.
+
+    G ⟶ p × \{C̄\} × R (predicate evaluation); C ⟶ impl × \{Ḡ\} × R
+    (candidate evaluation).  A predicate succeeds if one candidate does;
+    a candidate succeeds if all its nested predicates do.  Unlike the
+    idealized tree Argus visualizes, the raw trace keeps the §4 warts —
+    stateful normalization nodes, speculative predicates, overflow
+    markers — for {!Argus.Extract} to clean up. *)
+
+open Trait_lang
+
+(** Where a subgoal came from — the CtxtLinks auxiliary data. *)
+type provenance =
+  | Root of { origin : string; span : Span.t }
+  | Impl_where of { impl_id : int; clause_idx : int }
+  | Param_env of int
+  | Supertrait of Path.t
+  | Builtin_req of string
+  | Normalization
+
+type flag =
+  | Overflow  (** E0275: cyclic requirement *)
+  | Depth_limit
+  | Stateful  (** a [NormalizesTo] node: value captured after its subtree *)
+  | Speculative  (** probing predicate from method resolution *)
+  | Ambiguous_selection  (** several candidates succeeded *)
+
+type goal_node = {
+  pred : Predicate.t;  (** resolved as of evaluation start *)
+  result : Res.t;
+  candidates : cand_node list;
+  depth : int;
+  provenance : provenance;
+  flags : flag list;
+}
+
+and cand_source =
+  | Cand_impl of Decl.impl
+  | Cand_param_env of Predicate.t
+  | Cand_builtin of string  (** e.g. "fn-item", "sized", "tuple" *)
+
+and cand_node = {
+  source : cand_source;
+  cand_result : Res.t;
+  subgoals : goal_node list;
+  failure : Unify.failure option;
+      (** head or associated-type-term mismatch, when rejected outright *)
+}
+
+val has_flag : flag -> goal_node -> bool
+val is_overflow : goal_node -> bool
+
+(** Total goal-node count (the Fig. 12b size metric). *)
+val size : goal_node -> int
+
+val depth_of : goal_node -> int
+val fold_goals : ('a -> goal_node -> 'a) -> 'a -> goal_node -> 'a
+
+(** Failed goals with no failing sub-structure — the raw form of the
+    bottom-up view's roots. *)
+val failed_leaves : goal_node -> goal_node list
+
+val cand_source_name : cand_source -> string

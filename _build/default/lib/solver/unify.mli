@@ -1,0 +1,37 @@
+(** First-order unification of L_TRAIT types under an inference context.
+
+    Universally quantified parameters are rigid; projections unify
+    structurally against other projections, while a projection meeting a
+    rigid constructor reports [Projection_ambiguous] so {!Solve} can
+    route the pair through normalization. *)
+
+open Trait_lang
+
+type failure =
+  | Head_mismatch of Ty.t * Ty.t  (** different rigid constructors *)
+  | Arity of Ty.t * Ty.t
+  | Region_mismatch of Region.t * Region.t
+  | Occurs of int * Ty.t  (** [?i] occurs in the type it would bind to *)
+  | Projection_ambiguous of Ty.projection * Ty.t
+      (** a projection met a non-projection; needs normalization *)
+
+type 'a result = ('a, failure) Stdlib.result
+
+val failure_to_string : ?cfg:Pretty.config -> failure -> string
+
+(** Unify two regions.  Erased and inference regions unify with anything;
+    the trait solver never fails on regions alone. *)
+val unify_region : Region.t -> Region.t -> unit result
+
+(** Unify two types, binding inference variables in the context.  On
+    failure, bindings already made are {e not} undone — callers wrap
+    candidate probes in {!Infer_ctx.snapshot}. *)
+val unify : Infer_ctx.t -> Ty.t -> Ty.t -> unit result
+
+(** Resolve just the head of a type (follow bindings one level). *)
+val shallow : Infer_ctx.t -> Ty.t -> Ty.t
+
+val unify_trait_refs : Infer_ctx.t -> Ty.trait_ref -> Ty.trait_ref -> unit result
+
+(** Probe unifiability under a snapshot; always rolls back. *)
+val can_unify : Infer_ctx.t -> Ty.t -> Ty.t -> bool

@@ -1,0 +1,1 @@
+lib/stats/permutation.ml: Array Float List Rng

@@ -1,0 +1,1 @@
+lib/stats/permutation.mli: Rng

@@ -1,0 +1,1 @@
+lib/stats/tests.ml: Descriptive Float List Special

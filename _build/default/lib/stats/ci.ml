@@ -1,0 +1,46 @@
+(** Confidence intervals.
+
+    Fig. 11 reports 95% binomial proportion CIs on rates (e.g. "84% of
+    cases, CI = [71%, 93%]") and CIs on median times (e.g. "3m3s,
+    CI = [2m28s, 3m46s]").  We provide the Wilson score interval for
+    proportions and a bootstrap percentile interval for medians. *)
+
+type interval = { lo : float; hi : float }
+
+(** Wilson score interval for a binomial proportion. *)
+let wilson ?(level = 0.95) ~successes ~trials () : interval =
+  if trials = 0 then invalid_arg "wilson: zero trials";
+  let z = Special.normal_ppf (1.0 -. ((1.0 -. level) /. 2.0)) in
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let spread =
+    z *. Float.sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom
+  in
+  { lo = Float.max 0.0 (center -. spread); hi = Float.min 1.0 (center +. spread) }
+
+(** Percentile bootstrap CI for an arbitrary statistic. *)
+let bootstrap ?(level = 0.95) ?(iterations = 2000) ~(rng : Rng.t)
+    (statistic : float list -> float) (sample : float list) : interval =
+  match sample with
+  | [] -> invalid_arg "bootstrap: empty sample"
+  | _ ->
+      let arr = Array.of_list sample in
+      let n = Array.length arr in
+      let stats =
+        List.init iterations (fun _ ->
+            let resample = List.init n (fun _ -> arr.(Rng.int rng n)) in
+            statistic resample)
+      in
+      let alpha = (1.0 -. level) /. 2.0 in
+      {
+        lo = Descriptive.quantile alpha stats;
+        hi = Descriptive.quantile (1.0 -. alpha) stats;
+      }
+
+let bootstrap_median ?level ?iterations ~rng sample =
+  bootstrap ?level ?iterations ~rng Descriptive.median sample
+
+let pp_interval ppf { lo; hi } = Format.fprintf ppf "[%.3f, %.3f]" lo hi

@@ -1,0 +1,18 @@
+(** Confidence intervals: Wilson score for proportions (Fig. 11's
+    "95% binomial proportion confidence interval") and percentile
+    bootstrap for medians. *)
+
+type interval = { lo : float; hi : float }
+
+val wilson : ?level:float -> successes:int -> trials:int -> unit -> interval
+
+val bootstrap :
+  ?level:float ->
+  ?iterations:int ->
+  rng:Rng.t ->
+  (float list -> float) ->
+  float list ->
+  interval
+
+val bootstrap_median : ?level:float -> ?iterations:int -> rng:Rng.t -> float list -> interval
+val pp_interval : Format.formatter -> interval -> unit

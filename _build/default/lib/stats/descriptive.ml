@@ -1,0 +1,79 @@
+(** Descriptive statistics over float samples. *)
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "mean: empty sample"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> invalid_arg "variance: need at least two points"
+  | _ ->
+      let m = mean xs in
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+
+let stddev xs = Float.sqrt (variance xs)
+
+(** Quantile by linear interpolation on the sorted sample (type 7, the
+    R/numpy default). *)
+let quantile q xs =
+  if q < 0.0 || q > 1.0 then invalid_arg "quantile";
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "quantile: empty sample"
+  | sorted ->
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      if n = 1 then arr.(0)
+      else begin
+        let h = q *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor h) in
+        let hi = min (lo + 1) (n - 1) in
+        let frac = h -. float_of_int lo in
+        arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+      end
+
+let median xs = quantile 0.5 xs
+
+let min_max xs =
+  match xs with
+  | [] -> invalid_arg "min_max: empty sample"
+  | x :: rest ->
+      List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) rest
+
+(** Ranks with midranks for ties (1-based), as Kruskal-Wallis needs. *)
+let ranks (xs : float list) : float list =
+  let indexed = List.mapi (fun i x -> (i, x)) xs in
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) indexed in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let out = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && snd arr.(!j + 1) = snd arr.(!i) do
+      incr j
+    done;
+    (* positions !i..!j share value: midrank *)
+    let midrank = (float_of_int (!i + !j) /. 2.0) +. 1.0 in
+    for k = !i to !j do
+      out.(fst arr.(k)) <- midrank
+    done;
+    i := !j + 1
+  done;
+  Array.to_list out
+
+(** Pearson correlation. *)
+let correlation xs ys =
+  if List.length xs <> List.length ys then invalid_arg "correlation: length mismatch";
+  let mx = mean xs and my = mean ys in
+  let num =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0.0 xs ys
+  in
+  let sx = Float.sqrt (List.fold_left (fun a x -> a +. ((x -. mx) ** 2.0)) 0.0 xs) in
+  let sy = Float.sqrt (List.fold_left (fun a y -> a +. ((y -. my) ** 2.0)) 0.0 ys) in
+  num /. (sx *. sy)
+
+let mean_absolute_deviation xs ys =
+  if List.length xs <> List.length ys then invalid_arg "mad: length mismatch";
+  mean (List.map2 (fun x y -> Float.abs (x -. y)) xs ys)

@@ -1,0 +1,18 @@
+(** Descriptive statistics over float samples.  Functions raise
+    [Invalid_argument] on empty samples. *)
+
+val mean : float list -> float
+val variance : float list -> float
+val stddev : float list -> float
+
+(** Linear-interpolation quantile (type 7, the R/numpy default). *)
+val quantile : float -> float list -> float
+
+val median : float list -> float
+val min_max : float list -> float * float
+
+(** 1-based ranks with midranks for ties (Kruskal-Wallis needs these). *)
+val ranks : float list -> float list
+
+val correlation : float list -> float list -> float
+val mean_absolute_deviation : float list -> float list -> float

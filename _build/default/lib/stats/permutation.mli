@@ -1,0 +1,14 @@
+(** Stratified (within-subject) permutation test — the exact-inference
+    analog of the paper's GLMM with participant as a random effect
+    (§5.1.2, p = 0.03). *)
+
+type result = {
+  observed : float;  (** treatment rate − control rate *)
+  p_value : float;  (** two-sided, Monte Carlo with add-one smoothing *)
+  iterations : int;
+}
+
+(** [test ~rng strata] where each stratum (participant) is a list of
+    [(in_treatment, outcome)] trials; labels are permuted within each
+    stratum only. *)
+val test : ?iterations:int -> rng:Rng.t -> (bool * bool) list list -> result

@@ -1,0 +1,66 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The study simulator must be reproducible: every run of the Fig. 11
+    bench regenerates identical samples from a fixed seed. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  int_of_float (float t *. float_of_int bound)
+
+let bool t = float t < 0.5
+
+(** Bernoulli with success probability [p]. *)
+let bernoulli t p = float t < p
+
+(** Standard normal via Box-Muller. *)
+let normal t =
+  let u1 = Float.max 1e-12 (float t) in
+  let u2 = float t in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+(** Normal with given mean and standard deviation. *)
+let gaussian t ~mu ~sigma = mu +. (sigma *. normal t)
+
+(** Log-normal: exp of a normal — a standard model for task-completion
+    times, which are positive and right-skewed. *)
+let log_normal t ~mu ~sigma = Float.exp (gaussian t ~mu ~sigma)
+
+(** Exponential with given rate. *)
+let exponential t ~rate = -.Float.log (Float.max 1e-12 (float t)) /. rate
+
+(** Fork an independent stream (for per-participant generators). *)
+let split t = { state = next_int64 t }
+
+(** Fisher-Yates shuffle, in place. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** A random sample of [k] distinct elements of [xs]. *)
+let sample t k xs =
+  let arr = Array.of_list xs in
+  shuffle t arr;
+  Array.to_list (Array.sub arr 0 (min k (Array.length arr)))

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (SplitMix64), so every study
+    simulation and bootstrap is reproducible from its seed. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+val bool : t -> bool
+val bernoulli : t -> float -> bool
+
+(** Standard normal (Box-Muller). *)
+val normal : t -> float
+
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** Positive and right-skewed — the standard model for task times. *)
+val log_normal : t -> mu:float -> sigma:float -> float
+
+val exponential : t -> rate:float -> float
+
+(** Fork an independent stream (per-participant generators). *)
+val split : t -> t
+
+val shuffle : t -> 'a array -> unit
+
+(** A random sample of [k] distinct elements. *)
+val sample : t -> int -> 'a list -> 'a list

@@ -1,0 +1,145 @@
+(** Special functions: log-gamma and the regularized incomplete gamma
+    function, which give the chi-square CDF used by both hypothesis tests
+    the paper reports (chi-square test of independence and the
+    Kruskal-Wallis H test, whose statistic is chi-square distributed). *)
+
+(* Lanczos approximation (g = 7, n = 9), standard coefficients. *)
+let lanczos_g = 7.0
+
+let lanczos_coeff =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+(** Natural log of the gamma function, for x > 0. *)
+let rec log_gamma x =
+  if x < 0.5 then
+    (* reflection: Γ(x)Γ(1-x) = π / sin(πx) *)
+    Float.log (Float.pi /. Float.sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let a = ref lanczos_coeff.(0) in
+    let t = x +. lanczos_g +. 0.5 in
+    for i = 1 to Array.length lanczos_coeff - 1 do
+      a := !a +. (lanczos_coeff.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. Float.log (2.0 *. Float.pi))
+    +. ((x +. 0.5) *. Float.log t)
+    -. t
+    +. Float.log !a
+  end
+
+(** Lower regularized incomplete gamma P(a, x), via the series expansion
+    for x < a+1 and the continued fraction for x >= a+1 (Numerical
+    Recipes' gser/gcf split). *)
+let lower_regularized_gamma a x =
+  if x < 0.0 || a <= 0.0 then invalid_arg "lower_regularized_gamma";
+  if x = 0.0 then 0.0
+  else if x < a +. 1.0 then begin
+    (* series: P(a,x) = e^-x x^a / Γ(a) * Σ x^n / (a(a+1)...(a+n)) *)
+    let sum = ref (1.0 /. a) in
+    let term = ref (1.0 /. a) in
+    let ap = ref a in
+    let continue_ = ref true in
+    let iters = ref 0 in
+    while !continue_ && !iters < 500 do
+      incr iters;
+      ap := !ap +. 1.0;
+      term := !term *. x /. !ap;
+      sum := !sum +. !term;
+      if Float.abs !term < Float.abs !sum *. 1e-15 then continue_ := false
+    done;
+    !sum *. Float.exp ((a *. Float.log x) -. x -. log_gamma a)
+  end
+  else begin
+    (* continued fraction for Q(a,x), then P = 1 - Q (modified Lentz) *)
+    let tiny = 1e-300 in
+    let b = ref (x +. 1.0 -. a) in
+    let c = ref (1.0 /. tiny) in
+    let d = ref (1.0 /. !b) in
+    let h = ref !d in
+    let continue_ = ref true in
+    let i = ref 1 in
+    while !continue_ && !i < 500 do
+      let an = -.float_of_int !i *. (float_of_int !i -. a) in
+      b := !b +. 2.0;
+      d := (an *. !d) +. !b;
+      if Float.abs !d < tiny then d := tiny;
+      c := !b +. (an /. !c);
+      if Float.abs !c < tiny then c := tiny;
+      d := 1.0 /. !d;
+      let del = !d *. !c in
+      h := !h *. del;
+      if Float.abs (del -. 1.0) < 1e-15 then continue_ := false;
+      incr i
+    done;
+    let q = Float.exp ((a *. Float.log x) -. x -. log_gamma a) *. !h in
+    1.0 -. q
+  end
+
+(** CDF of the chi-square distribution with [df] degrees of freedom. *)
+let chi2_cdf ~df x =
+  if x <= 0.0 then 0.0 else lower_regularized_gamma (float_of_int df /. 2.0) (x /. 2.0)
+
+(** Upper tail p-value for a chi-square statistic. *)
+let chi2_sf ~df x = 1.0 -. chi2_cdf ~df x
+
+(** Standard normal CDF via the complementary error function
+    (Abramowitz & Stegun 7.1.26-style rational approximation). *)
+let normal_cdf z =
+  let t = 1.0 /. (1.0 +. (0.2316419 *. Float.abs z)) in
+  let poly =
+    t
+    *. (0.319381530
+       +. (t *. (-0.356563782 +. (t *. (1.781477937 +. (t *. (-1.821255978 +. (t *. 1.330274429))))))))
+  in
+  let pdf = Float.exp (-0.5 *. z *. z) /. Float.sqrt (2.0 *. Float.pi) in
+  if z >= 0.0 then 1.0 -. (pdf *. poly) else pdf *. poly
+
+(** Inverse standard normal CDF (Acklam's algorithm), needed for the
+    Wilson confidence interval's z-value at arbitrary levels. *)
+let normal_ppf p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "normal_ppf";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  if p < p_low then begin
+    let q = Float.sqrt (-2.0 *. Float.log p) in
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5)
+    |> fun num -> num /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5)
+    |> fun num ->
+    num *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+  end
+  else begin
+    let q = Float.sqrt (-2.0 *. Float.log (1.0 -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end

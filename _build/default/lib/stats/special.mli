@@ -1,0 +1,19 @@
+(** Special functions backing the hypothesis tests. *)
+
+(** Natural log of the gamma function (Lanczos, g=7). *)
+val log_gamma : float -> float
+
+(** Lower regularized incomplete gamma P(a, x). *)
+val lower_regularized_gamma : float -> float -> float
+
+(** CDF of the chi-square distribution. *)
+val chi2_cdf : df:int -> float -> float
+
+(** Upper-tail p-value. *)
+val chi2_sf : df:int -> float -> float
+
+(** Standard normal CDF (Abramowitz & Stegun 26.2.17-style). *)
+val normal_cdf : float -> float
+
+(** Inverse standard normal CDF (Acklam). *)
+val normal_ppf : float -> float

@@ -1,0 +1,80 @@
+(** Hypothesis tests reported in §5.1.2: the chi-square test of
+    independence for localization/fix {e rates} and the Kruskal-Wallis H
+    test for localization/fix {e times}. *)
+
+type test_result = { statistic : float; df : int; p_value : float }
+
+(** Chi-square test of independence on a 2×2 contingency table
+    [| [|a; b|]; [|c; d|] |] (rows = conditions, columns = outcome),
+    without Yates correction (matching the paper's reported χ(1,100)
+    values). *)
+let chi2_2x2 ~a ~b ~c ~d : test_result =
+  let af = float_of_int a and bf = float_of_int b in
+  let cf = float_of_int c and df_ = float_of_int d in
+  let n = af +. bf +. cf +. df_ in
+  if n = 0.0 then invalid_arg "chi2_2x2: empty table";
+  let r1 = af +. bf and r2 = cf +. df_ in
+  let c1 = af +. cf and c2 = bf +. df_ in
+  if r1 = 0.0 || r2 = 0.0 || c1 = 0.0 || c2 = 0.0 then
+    { statistic = 0.0; df = 1; p_value = 1.0 }
+  else begin
+    let statistic = n *. ((af *. df_) -. (bf *. cf)) ** 2.0 /. (r1 *. r2 *. c1 *. c2) in
+    { statistic; df = 1; p_value = Special.chi2_sf ~df:1 statistic }
+  end
+
+(** Kruskal-Wallis H test across [groups] (each a list of observations),
+    with the standard tie correction.  For two groups this is equivalent
+    to a Mann-Whitney U test, which is how the paper compares
+    with-Argus/without-Argus task times. *)
+let kruskal_wallis (groups : float list list) : test_result =
+  let k = List.length groups in
+  if k < 2 then invalid_arg "kruskal_wallis: need at least two groups";
+  let all = List.concat groups in
+  let n = List.length all in
+  if n = 0 then invalid_arg "kruskal_wallis: empty data";
+  let rks = Descriptive.ranks all in
+  (* split ranks back into their groups *)
+  let rec take_drop n = function
+    | xs when n = 0 -> ([], xs)
+    | [] -> ([], [])
+    | x :: xs ->
+        let a, b = take_drop (n - 1) xs in
+        (x :: a, b)
+  in
+  let group_ranks, _ =
+    List.fold_left
+      (fun (acc, remaining) g ->
+        let taken, rest = take_drop (List.length g) remaining in
+        (taken :: acc, rest))
+      ([], rks) groups
+  in
+  let group_ranks = List.rev group_ranks in
+  let nf = float_of_int n in
+  let h_raw =
+    (12.0 /. (nf *. (nf +. 1.0)))
+    *. List.fold_left2
+         (fun acc g gr ->
+           let ni = float_of_int (List.length g) in
+           if ni = 0.0 then acc
+           else
+             let rsum = List.fold_left ( +. ) 0.0 gr in
+             acc +. (rsum *. rsum /. ni))
+         0.0 groups group_ranks
+    -. (3.0 *. (nf +. 1.0))
+  in
+  (* tie correction: divide by 1 - Σ(t³-t)/(n³-n) *)
+  let sorted = List.sort Float.compare all in
+  let tie_sum = ref 0.0 in
+  let rec count_ties = function
+    | [] -> ()
+    | x :: rest ->
+        let same, others = List.partition (fun y -> y = x) rest in
+        let t = float_of_int (1 + List.length same) in
+        tie_sum := !tie_sum +. ((t ** 3.0) -. t);
+        count_ties others
+  in
+  count_ties sorted;
+  let correction = 1.0 -. (!tie_sum /. ((nf ** 3.0) -. nf)) in
+  let statistic = if correction > 0.0 then h_raw /. correction else h_raw in
+  let df = k - 1 in
+  { statistic; df; p_value = Special.chi2_sf ~df statistic }

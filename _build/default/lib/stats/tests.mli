@@ -1,0 +1,13 @@
+(** Hypothesis tests reported in §5.1.2: chi-square on rates,
+    Kruskal-Wallis on times. *)
+
+type test_result = { statistic : float; df : int; p_value : float }
+
+(** Chi-square test of independence on a 2×2 table
+    [| a b |; | c d |] (rows = conditions), without Yates correction —
+    matching the paper's reported χ(1,100) values. *)
+val chi2_2x2 : a:int -> b:int -> c:int -> d:int -> test_result
+
+(** Kruskal-Wallis H across groups, with the standard tie correction.
+    For two groups this compares like the Mann-Whitney U test. *)
+val kruskal_wallis : float list list -> test_result

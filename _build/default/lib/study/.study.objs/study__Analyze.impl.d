@@ -1,0 +1,1 @@
+lib/study/analyze.ml: Float List Printf Simulate Stats String

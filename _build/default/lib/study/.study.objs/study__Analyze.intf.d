@@ -1,0 +1,1 @@
+lib/study/analyze.mli: Simulate Stats

@@ -1,0 +1,1 @@
+lib/study/participant.ml: Float Stats Task

@@ -1,0 +1,1 @@
+lib/study/participant.mli: Stats Task

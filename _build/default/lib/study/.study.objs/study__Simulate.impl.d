@@ -1,0 +1,1 @@
+lib/study/simulate.ml: Lazy List Participant Stats Task

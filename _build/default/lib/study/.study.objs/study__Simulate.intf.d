@@ -1,0 +1,1 @@
+lib/study/simulate.mli: Participant Stats Task

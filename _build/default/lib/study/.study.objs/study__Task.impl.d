@@ -1,0 +1,1 @@
+lib/study/task.ml: Argus Corpus Lazy List Option Rustc_diag Trait_lang

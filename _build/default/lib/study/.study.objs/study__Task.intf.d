@@ -1,0 +1,1 @@
+lib/study/task.mli: Argus Corpus Lazy Trait_lang

@@ -1,0 +1,182 @@
+(** Statistical analysis of a study dataset, producing every number the
+    paper's §5.1.2 reports for Fig. 11: localization/fix rates with 95%
+    binomial CIs and chi-square tests, localization/fix time medians with
+    bootstrap CIs and Kruskal-Wallis tests. *)
+
+type rate = {
+  successes : int;
+  trials : int;
+  value : float;
+  ci : Stats.Ci.interval;
+}
+
+type timing = {
+  median : float;
+  ci : Stats.Ci.interval;
+  samples : float list;
+}
+
+type condition_summary = {
+  condition : Simulate.condition;
+  loc_rate : rate;
+  loc_time : timing;
+  fix_rate : rate;
+  fix_time : timing;
+}
+
+type results = {
+  argus : condition_summary;
+  control : condition_summary;
+  loc_rate_test : Stats.Tests.test_result;
+  loc_time_test : Stats.Tests.test_result;
+  fix_rate_test : Stats.Tests.test_result;
+  fix_time_test : Stats.Tests.test_result;
+  fix_rate_within : Stats.Permutation.result;
+      (** the paper's GLMM with participant as random effect, realized as
+          a within-participant permutation test (§5.1.2: p = 0.03) *)
+}
+
+let rate_of ~rng:_ successes trials =
+  {
+    successes;
+    trials;
+    value = float_of_int successes /. float_of_int (max 1 trials);
+    ci = Stats.Ci.wilson ~successes ~trials ();
+  }
+
+let timing_of ~rng samples =
+  {
+    median = Stats.Descriptive.median samples;
+    ci = Stats.Ci.bootstrap_median ~rng samples;
+    samples;
+  }
+
+let summarize ~rng (d : Simulate.dataset) (c : Simulate.condition) : condition_summary =
+  let trials = Simulate.by_condition d c in
+  let n = List.length trials in
+  let locs = List.filter (fun (t : Simulate.trial) -> t.localized) trials in
+  let fixes = List.filter (fun (t : Simulate.trial) -> t.fixed) trials in
+  {
+    condition = c;
+    loc_rate = rate_of ~rng (List.length locs) n;
+    loc_time = timing_of ~rng (List.map (fun (t : Simulate.trial) -> t.t_localize) trials);
+    fix_rate = rate_of ~rng (List.length fixes) n;
+    fix_time = timing_of ~rng (List.map (fun (t : Simulate.trial) -> t.t_fix) trials);
+  }
+
+let analyze ?(seed = 0xC1) (d : Simulate.dataset) : results =
+  let rng = Stats.Rng.create ~seed in
+  let argus = summarize ~rng d Simulate.Argus in
+  let control = summarize ~rng d Simulate.Control in
+  let chi2_of (a : rate) (b : rate) =
+    Stats.Tests.chi2_2x2 ~a:a.successes ~b:(a.trials - a.successes) ~c:b.successes
+      ~d:(b.trials - b.successes)
+  in
+  let strata =
+    List.init d.n_participants (fun pid ->
+        d.trials
+        |> List.filter (fun (t : Simulate.trial) -> t.participant = pid)
+        |> List.map (fun (t : Simulate.trial) -> (t.condition = Simulate.Argus, t.fixed)))
+  in
+  {
+    argus;
+    control;
+    loc_rate_test = chi2_of argus.loc_rate control.loc_rate;
+    loc_time_test =
+      Stats.Tests.kruskal_wallis [ argus.loc_time.samples; control.loc_time.samples ];
+    fix_rate_test = chi2_of argus.fix_rate control.fix_rate;
+    fix_time_test =
+      Stats.Tests.kruskal_wallis [ argus.fix_time.samples; control.fix_time.samples ];
+    fix_rate_within = Stats.Permutation.test ~rng strata;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-task breakdown (the paper's task-variety discussion: real vs
+   synthetic libraries, branch points vs linear chains). *)
+
+type task_row = {
+  tr_task : string;
+  tr_n : int;  (** trials of this task, both conditions *)
+  tr_loc_argus : float;  (** localization rate with Argus *)
+  tr_loc_control : float;
+}
+
+let per_task (d : Simulate.dataset) : task_row list =
+  let ids =
+    List.sort_uniq compare (List.map (fun (t : Simulate.trial) -> t.task_id) d.trials)
+  in
+  List.map
+    (fun id ->
+      let mine = List.filter (fun (t : Simulate.trial) -> t.task_id = id) d.trials in
+      let rate c =
+        let sub = List.filter (fun (t : Simulate.trial) -> t.condition = c) mine in
+        if sub = [] then 0.0
+        else
+          float_of_int (List.length (List.filter (fun (t : Simulate.trial) -> t.localized) sub))
+          /. float_of_int (List.length sub)
+      in
+      {
+        tr_task = id;
+        tr_n = List.length mine;
+        tr_loc_argus = rate Simulate.Argus;
+        tr_loc_control = rate Simulate.Control;
+      })
+    ids
+
+let per_task_to_string (rows : task_row list) : string =
+  let lines =
+    Printf.sprintf "%-26s %5s %14s %14s" "task" "n" "loc w/ Argus" "loc w/o"
+    :: List.map
+         (fun r ->
+           Printf.sprintf "%-26s %5d %13.0f%% %13.0f%%" r.tr_task r.tr_n
+             (100.0 *. r.tr_loc_argus)
+             (100.0 *. r.tr_loc_control))
+         rows
+  in
+  String.concat "
+" lines
+
+(* ------------------------------------------------------------------ *)
+(* Rendering, in the paper's format. *)
+
+let fmt_time secs =
+  let s = int_of_float (Float.round secs) in
+  Printf.sprintf "%dm%02ds" (s / 60) (s mod 60)
+
+let fmt_rate (r : rate) =
+  Printf.sprintf "%.0f%% (CI = [%.0f%%, %.0f%%])" (100.0 *. r.value) (100.0 *. r.ci.lo)
+    (100.0 *. r.ci.hi)
+
+let fmt_timing (t : timing) =
+  Printf.sprintf "median %s (CI = [%s, %s])" (fmt_time t.median) (fmt_time t.ci.lo)
+    (fmt_time t.ci.hi)
+
+let fmt_test name (t : Stats.Tests.test_result) ~n =
+  Printf.sprintf "%s: chi(%d,%d) = %.2f, p %s" name t.df n t.statistic
+    (if t.p_value < 0.001 then "< 0.001" else Printf.sprintf "= %.3f" t.p_value)
+
+let to_string (r : results) : string =
+  let n = r.argus.loc_rate.trials + r.control.loc_rate.trials in
+  let lines =
+    [
+      "Fig 11a — localization rate:";
+      Printf.sprintf "  with Argus    %s" (fmt_rate r.argus.loc_rate);
+      Printf.sprintf "  without Argus %s" (fmt_rate r.control.loc_rate);
+      Printf.sprintf "  %s" (fmt_test "chi-square" r.loc_rate_test ~n);
+      "Fig 11b — localization time:";
+      Printf.sprintf "  with Argus    %s" (fmt_timing r.argus.loc_time);
+      Printf.sprintf "  without Argus %s" (fmt_timing r.control.loc_time);
+      Printf.sprintf "  %s" (fmt_test "Kruskal-Wallis" r.loc_time_test ~n);
+      "Fig 11c — fix rate:";
+      Printf.sprintf "  with Argus    %s" (fmt_rate r.argus.fix_rate);
+      Printf.sprintf "  without Argus %s" (fmt_rate r.control.fix_rate);
+      Printf.sprintf "  %s" (fmt_test "chi-square" r.fix_rate_test ~n);
+      Printf.sprintf "  within-participant permutation (GLMM analog): p = %.3f"
+        r.fix_rate_within.p_value;
+      "Fig 11d — fix time:";
+      Printf.sprintf "  with Argus    %s" (fmt_timing r.argus.fix_time);
+      Printf.sprintf "  without Argus %s" (fmt_timing r.control.fix_time);
+      Printf.sprintf "  %s" (fmt_test "Kruskal-Wallis" r.fix_time_test ~n);
+    ]
+  in
+  String.concat "\n" lines

@@ -1,0 +1,44 @@
+(** Statistical analysis of a study dataset: every number §5.1.2 reports
+    for Fig. 11 — rates with Wilson CIs and chi-square tests, time
+    medians with bootstrap CIs and Kruskal-Wallis tests, plus the
+    within-participant permutation test standing in for the paper's
+    GLMM. *)
+
+type rate = { successes : int; trials : int; value : float; ci : Stats.Ci.interval }
+type timing = { median : float; ci : Stats.Ci.interval; samples : float list }
+
+type condition_summary = {
+  condition : Simulate.condition;
+  loc_rate : rate;
+  loc_time : timing;
+  fix_rate : rate;
+  fix_time : timing;
+}
+
+type results = {
+  argus : condition_summary;
+  control : condition_summary;
+  loc_rate_test : Stats.Tests.test_result;
+  loc_time_test : Stats.Tests.test_result;
+  fix_rate_test : Stats.Tests.test_result;
+  fix_time_test : Stats.Tests.test_result;
+  fix_rate_within : Stats.Permutation.result;
+}
+
+val analyze : ?seed:int -> Simulate.dataset -> results
+
+(** Per-task localization rates by condition. *)
+type task_row = {
+  tr_task : string;
+  tr_n : int;
+  tr_loc_argus : float;
+  tr_loc_control : float;
+}
+
+val per_task : Simulate.dataset -> task_row list
+val per_task_to_string : task_row list -> string
+
+val fmt_time : float -> string
+
+(** Render all four Fig. 11 panels in the paper's format. *)
+val to_string : results -> string

@@ -1,0 +1,187 @@
+(** The stochastic participant model.
+
+    We cannot run the paper's N=25 human study, so we substitute a
+    mechanistic model of a debugging session that *consumes the actual
+    structures our system produces*: with Argus, the participant scans the
+    bottom-up view in its inertia order (so the heuristic's quality
+    directly shapes the outcome); without Argus, the participant starts
+    from the compiler diagnostic and must manually trace the
+    [rustc_distance] inference steps the diagnostic does not show, with
+    extra hazards when the diagnostic elides requirements or stops at a
+    branch point.
+
+    Constants are calibrated so the aggregate statistics land near the
+    paper's Fig. 11 (see EXPERIMENTS.md for paper-vs-measured). *)
+
+type params = {
+  (* shared *)
+  skill_sigma : float;  (** spread of participant skill (log-normal) *)
+  time_cap : float;  (** 10-minute cap, seconds *)
+  read_sigma : float;  (** noise on every activity duration *)
+  (* with Argus *)
+  argus_overhead : float;  (** orienting: problem statement, opening the view *)
+  argus_leaf_read : float;  (** reading one bottom-up predicate *)
+  argus_unfold : float;  (** unfolding parents for context *)
+  argus_recognize : float;  (** P(recognize the root cause on direct read) *)
+  argus_recognize_ctx : float;  (** P(recognize after unfolding context) *)
+  argus_second_pass : float;  (** P(recognize on a second pass over the view) *)
+  (* without Argus *)
+  control_overhead : float;  (** reading code + the full diagnostic *)
+  control_trace_step : float;  (** manually tracing one inference step *)
+  control_stray : float;  (** P(going astray at each manual step) *)
+  control_stray_elision : float;  (** additional straying when requirements are hidden *)
+  control_wander : float;  (** recovery time after going astray *)
+  control_recognize : float;  (** P(recognizing the root cause when reached) *)
+  control_blocked_search : float;
+      (** time to find an absent trait via docs/source when the diagnostic
+          stops at a branch point (§5.1.2: only 29% even identified it) *)
+  control_blocked_prob : float;  (** P(that search succeeds) *)
+  (* fixing *)
+  fix_base : float;  (** base patch time *)
+  fix_per_weight : float;  (** extra seconds per unit of inertia weight *)
+  fix_success : float;  (** P(a constructed patch is actually right) *)
+}
+
+let default_params =
+  {
+    skill_sigma = 0.35;
+    time_cap = 600.0;
+    read_sigma = 0.45;
+    argus_overhead = 105.0;
+    argus_leaf_read = 22.0;
+    argus_unfold = 55.0;
+    argus_recognize = 0.47;
+    argus_recognize_ctx = 0.72;
+    argus_second_pass = 0.22;
+    control_overhead = 100.0;
+    control_trace_step = 95.0;
+    control_stray = 0.34;
+    control_stray_elision = 0.15;
+    control_wander = 170.0;
+    control_recognize = 0.82;
+    control_blocked_search = 170.0;
+    control_blocked_prob = 0.17;
+    fix_base = 130.0;
+    fix_per_weight = 30.0;
+    fix_success = 0.68;
+  }
+
+type t = {
+  id : int;
+  skill : float;  (** multiplicative speed/insight factor, centred on 1 *)
+  rng : Stats.Rng.t;
+}
+
+let fresh ~params ~rng id =
+  let rng = Stats.Rng.split rng in
+  { id; skill = Float.exp (Stats.Rng.gaussian rng ~mu:0.0 ~sigma:params.skill_sigma); rng }
+
+(** One activity's duration: log-normal noise around
+    [base * difficulty / skill]. *)
+let duration p ~params ~difficulty base =
+  Stats.Rng.log_normal p.rng
+    ~mu:(Float.log (base *. difficulty /. p.skill))
+    ~sigma:params.read_sigma
+
+type phase_outcome = { succeeded : bool; elapsed : float }
+
+(** Localization with Argus: scan the bottom-up view in inertia order;
+    recognize the root cause when read (perhaps after unfolding parents);
+    a second pass models revisiting after exhausting the list. *)
+let localize_with_argus p ~params (task : Task.t) : phase_outcome =
+  let d = task.difficulty in
+  let t = ref (duration p ~params ~difficulty:d params.argus_overhead) in
+  let found = ref false in
+  let attempt_at_leaf () =
+    if Stats.Rng.bernoulli p.rng (params.argus_recognize *. Float.min 1.2 p.skill) then
+      found := true
+    else begin
+      (* unfold ancestors for context *)
+      t := !t +. duration p ~params ~difficulty:d params.argus_unfold;
+      if Stats.Rng.bernoulli p.rng params.argus_recognize_ctx then found := true
+    end
+  in
+  (* first pass down the sorted leaves *)
+  let rank = min task.inertia_rank (task.n_leaves - 1) in
+  let i = ref 0 in
+  while (not !found) && !i < task.n_leaves && !t < params.time_cap do
+    t := !t +. duration p ~params ~difficulty:d params.argus_leaf_read;
+    if !i = rank then attempt_at_leaf ();
+    incr i
+  done;
+  (* second pass: slower re-examination of everything *)
+  if (not !found) && !t < params.time_cap then begin
+    t :=
+      !t
+      +. duration p ~params ~difficulty:d
+           (params.argus_unfold *. float_of_int (max 1 task.n_leaves) /. 2.0);
+    if Stats.Rng.bernoulli p.rng params.argus_second_pass then found := true
+  end;
+  { succeeded = (!found && !t <= params.time_cap); elapsed = Float.min !t params.time_cap }
+
+(** Localization from the compiler diagnostic alone. *)
+let localize_control p ~params (task : Task.t) : phase_outcome =
+  let d = task.difficulty in
+  let t = ref (duration p ~params ~difficulty:d params.control_overhead) in
+  let found = ref false in
+  if task.rustc_distance >= 2 then begin
+    (* Branch point: the key trait is absent from the diagnostic (§2.3).
+       The participant must discover it from documentation or library
+       source. *)
+    t := !t +. duration p ~params ~difficulty:d params.control_blocked_search;
+    if
+      Stats.Rng.bernoulli p.rng (params.control_blocked_prob *. Float.min 3.0 (p.skill ** 3.0))
+      && !t < params.time_cap
+    then found := true
+  end
+  else begin
+    (* Linear chain: trace the steps the diagnostic implies. *)
+    let stray_p =
+      (* going astray is strongly skill-dependent: manual chain-tracing is
+         exactly the expertise that separates the study's Zulip experts
+         from its mailing-list learners *)
+      (params.control_stray
+      +. (if task.rustc_hidden > 0 then params.control_stray_elision else 0.0))
+      /. (p.skill ** 2.5)
+    in
+    let steps = max 1 task.rustc_distance in
+    let step = ref 0 in
+    while (not !found) && !t < params.time_cap do
+      t := !t +. duration p ~params ~difficulty:d params.control_trace_step;
+      if Stats.Rng.bernoulli p.rng stray_p then
+        (* went astray; wander and recover *)
+        t := !t +. duration p ~params ~difficulty:d params.control_wander
+      else begin
+        incr step;
+        if !step >= steps then
+          if Stats.Rng.bernoulli p.rng (params.control_recognize *. Float.min 1.2 p.skill)
+          then found := true
+          else step := max 0 (!step - 1)
+      end
+    done
+  end;
+  { succeeded = (!found && !t <= params.time_cap); elapsed = Float.min !t params.time_cap }
+
+(** Fixing, given a successful localization at [t_loc].  Patch time grows
+    with the inertia weight of the root cause — the very patch-complexity
+    model behind the heuristic (§3.3). *)
+let fix p ~params (task : Task.t) ~t_loc : phase_outcome =
+  let d = task.difficulty in
+  let base = params.fix_base +. (params.fix_per_weight *. float_of_int task.fix_weight) in
+  let cost = duration p ~params ~difficulty:d base in
+  let t = t_loc +. cost in
+  (* Constructing a correct patch is skill-bound: this reproduces the
+     paper's asymmetry where nearly all control-condition localizers also
+     fixed (they were self-selected skilled participants), while many
+     Argus-condition localizers could localize but not fix (§7.1). *)
+  (* Whether this participant can construct the right patch at all is
+     competence-bound, not time-bound: §7.1 observes that "many
+     participants could use Argus to successfully localize an error, but
+     still fail to fix the error".  The sharp skill exponent reproduces
+     the asymmetry where the control condition's localizers (a
+     self-selected skilled minority) convert to fixes at a higher rate. *)
+  let competent =
+    Stats.Rng.bernoulli p.rng (Float.min 0.95 (params.fix_success *. (p.skill ** 2.0)))
+  in
+  if competent && t <= params.time_cap then { succeeded = true; elapsed = t }
+  else { succeeded = false; elapsed = Float.min t params.time_cap }

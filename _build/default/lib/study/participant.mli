@@ -1,0 +1,49 @@
+(** The stochastic participant model substituting for the paper's N=25
+    humans.  With Argus the participant scans the bottom-up view in its
+    inertia order; without, they trace the compiler diagnostic's chain,
+    with extra hazards at elisions and branch points.  Constants are
+    calibrated to Fig. 11 (see EXPERIMENTS.md). *)
+
+type params = {
+  skill_sigma : float;
+  time_cap : float;  (** the 10-minute task cap, in seconds *)
+  read_sigma : float;
+  argus_overhead : float;
+  argus_leaf_read : float;
+  argus_unfold : float;
+  argus_recognize : float;
+  argus_recognize_ctx : float;
+  argus_second_pass : float;
+  control_overhead : float;
+  control_trace_step : float;
+  control_stray : float;
+  control_stray_elision : float;
+  control_wander : float;
+  control_recognize : float;
+  control_blocked_search : float;
+  control_blocked_prob : float;
+  fix_base : float;
+  fix_per_weight : float;
+  fix_success : float;
+}
+
+val default_params : params
+
+type t = {
+  id : int;
+  skill : float;  (** multiplicative speed/insight factor, centred on 1 *)
+  rng : Stats.Rng.t;
+}
+
+val fresh : params:params -> rng:Stats.Rng.t -> int -> t
+val duration : t -> params:params -> difficulty:float -> float -> float
+
+type phase_outcome = { succeeded : bool; elapsed : float }
+
+val localize_with_argus : t -> params:params -> Task.t -> phase_outcome
+val localize_control : t -> params:params -> Task.t -> phase_outcome
+
+(** Patch construction after a successful localization at [t_loc]; cost
+    grows with the root cause's inertia weight, success is skill-bound
+    (the §7.1 localize-but-not-fix asymmetry). *)
+val fix : t -> params:params -> Task.t -> t_loc:float -> phase_outcome

@@ -1,0 +1,64 @@
+(** Assembling and running simulated study sessions (§5.1.1 Procedure).
+
+    "Participants were given four tasks drawn randomly from the available
+    seven.  A maximum of ten minutes was allotted per task.  Participants
+    completed four tasks total, two in each condition [...]  Task order
+    was blocked by condition."  *)
+
+type condition = Argus | Control
+
+let condition_name = function Argus -> "with Argus" | Control -> "without Argus"
+
+type trial = {
+  participant : int;
+  task_id : string;
+  condition : condition;
+  localized : bool;
+  t_localize : float;  (** seconds from task start, capped at 600 *)
+  fixed : bool;
+  t_fix : float;  (** seconds from task start, capped at 600 *)
+}
+
+type dataset = { trials : trial list; n_participants : int }
+
+let run_trial (p : Participant.t) ~params (task : Task.t) (condition : condition) : trial =
+  let loc =
+    match condition with
+    | Argus -> Participant.localize_with_argus p ~params task
+    | Control -> Participant.localize_control p ~params task
+  in
+  let fix =
+    if loc.succeeded then Participant.fix p ~params task ~t_loc:loc.elapsed
+    else { Participant.succeeded = false; elapsed = params.Participant.time_cap }
+  in
+  {
+    participant = p.id;
+    task_id = task.entry.id;
+    condition;
+    localized = loc.succeeded;
+    t_localize = (if loc.succeeded then loc.elapsed else params.Participant.time_cap);
+    fixed = fix.succeeded;
+    t_fix = (if fix.succeeded then fix.elapsed else params.Participant.time_cap);
+  }
+
+(** Run one participant's session: four random tasks, conditions blocked,
+    block order randomized. *)
+let run_session ~params ~rng (tasks : Task.t list) (pid : int) : trial list =
+  let p = Participant.fresh ~params ~rng pid in
+  let chosen = Stats.Rng.sample p.rng 4 tasks in
+  let argus_first = Stats.Rng.bool p.rng in
+  let conditions =
+    if argus_first then [ Argus; Argus; Control; Control ]
+    else [ Control; Control; Argus; Argus ]
+  in
+  List.map2 (fun task condition -> run_trial p ~params task condition) chosen conditions
+
+(** The full study: [n] participants (the paper's final study has 25). *)
+let run ?(params = Participant.default_params) ?(n = 25) ~seed () : dataset =
+  let tasks = Lazy.force Task.all in
+  let rng = Stats.Rng.create ~seed in
+  let trials = List.concat_map (run_session ~params ~rng tasks) (List.init n (fun i -> i)) in
+  { trials; n_participants = n }
+
+let by_condition (d : dataset) (c : condition) =
+  List.filter (fun t -> t.condition = c) d.trials

@@ -1,0 +1,29 @@
+(** Assembling and running simulated study sessions (§5.1.1 Procedure):
+    four tasks drawn from seven, two per condition, blocked order,
+    ten-minute cap. *)
+
+type condition = Argus | Control
+
+val condition_name : condition -> string
+
+type trial = {
+  participant : int;
+  task_id : string;
+  condition : condition;
+  localized : bool;
+  t_localize : float;  (** seconds from task start, capped at 600 *)
+  fixed : bool;
+  t_fix : float;  (** seconds from task start, capped at 600 *)
+}
+
+type dataset = { trials : trial list; n_participants : int }
+
+val run_trial : Participant.t -> params:Participant.params -> Task.t -> condition -> trial
+
+val run_session :
+  params:Participant.params -> rng:Stats.Rng.t -> Task.t list -> int -> trial list
+
+(** The full study; the paper's final study has [n = 25]. *)
+val run : ?params:Participant.params -> ?n:int -> seed:int -> unit -> dataset
+
+val by_condition : dataset -> condition -> trial list

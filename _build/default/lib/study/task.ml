@@ -1,0 +1,71 @@
+(** The seven debugging tasks of the user study (§5.1.1).
+
+    "We created seven debugging tasks to cover a range of domains and
+    types of trait problems" — three real-library tasks (Axum, Bevy,
+    Diesel), plus tasks on the synthetic brew/space libraries mirroring
+    them, plus the overflow task.  Each task wraps a corpus entry and
+    precomputes the structural features the participant model consumes:
+    how far down the bottom-up view the root cause sits, how far the
+    compiler's diagnostic is from the root cause, and how much the
+    diagnostic elides. *)
+
+type t = {
+  entry : Corpus.Harness.entry;
+  tree : Argus.Proof_tree.t;
+  root_cause : Trait_lang.Predicate.t;
+  inertia_rank : int;  (** index of the root cause in Argus's bottom-up view *)
+  n_leaves : int;
+  rustc_distance : int;  (** inference steps from the reported error to the root cause *)
+  rustc_hidden : int;  (** "N redundant requirements hidden" *)
+  fix_weight : int;  (** inertia weight of the root cause: patch complexity *)
+  difficulty : float;  (** relative task difficulty multiplier *)
+}
+
+let difficulty_of_library = function
+  | "diesel_lite" -> 1.25  (* deep requirement chains *)
+  | "bevy_lite" -> 1.15  (* branch points *)
+  | "axum_lite" -> 1.1
+  | "brew" -> 0.9  (* synthetic: small, no prior knowledge needed *)
+  | "space" -> 0.9
+  | _ -> 1.0
+
+let of_entry (entry : Corpus.Harness.entry) : t =
+  let program, tree = Corpus.Harness.failed_tree entry in
+  let root_cause = Corpus.Harness.root_cause_pred entry in
+  let inertia_rank =
+    Option.value ~default:(List.length (Argus.Proof_tree.failed_leaves tree))
+      (Argus.Heuristics.rank_of_root_cause Argus.Heuristics.by_inertia tree ~root_cause)
+  in
+  let goal = List.hd (Trait_lang.Program.goals program) in
+  let diag = Rustc_diag.Diagnostic.of_tree program goal tree in
+  let rustc_distance =
+    Option.value ~default:4 (Rustc_diag.Diagnostic.distance_to_root_cause tree diag ~root_cause)
+  in
+  {
+    entry;
+    tree;
+    root_cause;
+    inertia_rank;
+    n_leaves = List.length (Argus.Proof_tree.failed_leaves tree);
+    rustc_distance;
+    rustc_hidden = diag.hidden;
+    fix_weight = Argus.Inertia.score root_cause;
+    difficulty = difficulty_of_library entry.library;
+  }
+
+(** The study's seven tasks, computed once. *)
+let all : t list Lazy.t =
+  lazy
+    (List.filter_map
+       (fun id -> Option.map of_entry (Corpus.Suite.find id))
+       [
+         "diesel-missing-join";
+         "bevy-errant-param";
+         "bevy-assets-param";
+         "axum-bad-return";
+         "brew-clashing-recipe";
+         "space-raw-payload";
+         "ast-overflow";
+       ])
+
+let count = 7

@@ -1,0 +1,22 @@
+(** The seven debugging tasks of the user study (§5.1.1), precomputing
+    the structural features the participant model consumes. *)
+
+type t = {
+  entry : Corpus.Harness.entry;
+  tree : Argus.Proof_tree.t;
+  root_cause : Trait_lang.Predicate.t;
+  inertia_rank : int;  (** root cause's index in the bottom-up view *)
+  n_leaves : int;
+  rustc_distance : int;  (** steps from the reported error to the root cause *)
+  rustc_hidden : int;  (** "N redundant requirements hidden" *)
+  fix_weight : int;  (** inertia weight of the root cause: patch complexity *)
+  difficulty : float;
+}
+
+val difficulty_of_library : string -> float
+val of_entry : Corpus.Harness.entry -> t
+
+(** The seven study tasks, computed once. *)
+val all : t list Lazy.t
+
+val count : int

@@ -1,0 +1,1 @@
+lib/trait_lang/decl.ml: Expr Path Predicate Span Ty

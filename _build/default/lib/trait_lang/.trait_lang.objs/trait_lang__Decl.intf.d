@@ -1,0 +1,1 @@
+lib/trait_lang/decl.mli: Expr Path Predicate Span Ty

@@ -1,0 +1,1 @@
+lib/trait_lang/expr.ml: Path Printf Span Ty

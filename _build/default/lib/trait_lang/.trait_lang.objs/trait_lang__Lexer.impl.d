@@ -1,0 +1,1 @@
+lib/trait_lang/lexer.ml: Buffer List Printf Span String Token

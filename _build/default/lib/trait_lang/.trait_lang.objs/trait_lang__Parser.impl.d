@@ -1,0 +1,1 @@
+lib/trait_lang/parser.ml: Array Ast Lexer List Printf Span Token

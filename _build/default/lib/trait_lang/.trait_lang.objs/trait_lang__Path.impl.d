@@ -1,0 +1,1 @@
+lib/trait_lang/path.ml: Fmt Hashtbl List Map Set String

@@ -1,0 +1,1 @@
+lib/trait_lang/predicate.ml: Int List Path Region Stdlib String Ty

@@ -1,0 +1,1 @@
+lib/trait_lang/predicate.mli: Path Region Ty

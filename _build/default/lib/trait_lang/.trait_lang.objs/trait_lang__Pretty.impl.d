@@ -1,0 +1,1 @@
+lib/trait_lang/pretty.ml: Buffer Decl List Path Predicate Printf Region String Ty

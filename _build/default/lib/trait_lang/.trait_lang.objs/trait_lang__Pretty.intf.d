@@ -1,0 +1,1 @@
+lib/trait_lang/pretty.mli: Decl Predicate Ty

@@ -1,0 +1,1 @@
+lib/trait_lang/program.ml: Decl List Option Path Predicate Span

@@ -1,0 +1,1 @@
+lib/trait_lang/program.mli: Decl Path Predicate Span

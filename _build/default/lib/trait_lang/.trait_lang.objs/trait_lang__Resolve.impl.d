@@ -1,0 +1,1 @@
+lib/trait_lang/resolve.ml: Ast Decl Expr Hashtbl List Option Parser Path Predicate Printf Program Region Span String Ty

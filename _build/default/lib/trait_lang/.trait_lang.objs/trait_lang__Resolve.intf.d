@@ -1,0 +1,1 @@
+lib/trait_lang/resolve.mli: Ast Path Program Span

@@ -1,0 +1,1 @@
+lib/trait_lang/subst.ml: List Map Option Predicate Region String Ty

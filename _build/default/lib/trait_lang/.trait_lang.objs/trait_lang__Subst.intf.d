@@ -1,0 +1,1 @@
+lib/trait_lang/subst.mli: Predicate Region Ty

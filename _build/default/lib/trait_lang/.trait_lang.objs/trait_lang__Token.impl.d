@@ -1,0 +1,1 @@
+lib/trait_lang/token.ml: Printf

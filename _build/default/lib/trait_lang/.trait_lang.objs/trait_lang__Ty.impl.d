@@ -1,0 +1,1 @@
+lib/trait_lang/ty.ml: Int List Option Path Region Stdlib String

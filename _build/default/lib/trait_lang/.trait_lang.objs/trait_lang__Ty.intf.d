@@ -1,0 +1,1 @@
+lib/trait_lang/ty.mli: Path Region

@@ -1,0 +1,111 @@
+(** Raw surface AST, produced by {!Parser} and consumed by {!Resolve}.
+
+    Names are unresolved strings; the resolver turns them into
+    {!Path.t}-based {!Program.t} declarations, reporting unknown /
+    ambiguous / arity errors with precise spans. *)
+
+type raw_ty =
+  | RName of string list * raw_arg list * Span.t
+      (** possibly-qualified name with generic args; also covers
+          primitives ([i32], [String], ...) and type parameters, which the
+          resolver disambiguates *)
+  | RRef of string option * bool * raw_ty  (** [&'a (mut)? τ] *)
+  | RTuple of raw_ty list  (** [()] when empty *)
+  | RFnPtr of raw_ty list * raw_ty option
+  | RFnItem of string list * Span.t  (** [fn[name]] — the fn item type of a declared fn *)
+  | RDyn of string list * raw_arg list * Span.t
+  | RProj of raw_ty * (string list * raw_arg list * Span.t) * string * raw_arg list
+      (** [<τ as Trait<..>>::Assoc<..>] *)
+  | RInfer of Span.t  (** [_] *)
+  | RSelf of Span.t
+
+and raw_arg =
+  | RTy of raw_ty
+  | RLt of string
+  | RBinding of string * raw_ty  (** [Assoc = τ] sugar inside a bound *)
+
+(** A trait bound reference: name + args (args may include bindings). *)
+type raw_bound = { bound_name : string list; bound_args : raw_arg list; bound_span : Span.t }
+
+type raw_pred =
+  | RPTrait of raw_ty * raw_bound list  (** [τ: A + B] *)
+  | RPProjEq of raw_ty * raw_ty  (** [π == τ] *)
+  | RPOutlives of raw_ty * string  (** [τ: 'a] *)
+
+type raw_generics = {
+  rg_lifetimes : string list;
+  rg_params : string list;
+  rg_where : raw_pred list;
+}
+
+let rg_empty = { rg_lifetimes = []; rg_params = []; rg_where = [] }
+
+type raw_assoc_decl = {
+  ra_name : string;
+  ra_generics : raw_generics;
+  ra_bounds : raw_bound list;
+  ra_default : raw_ty option;
+}
+
+type attr = On_unimplemented of string
+
+(** A trait method signature: [fn m(self, τ̄) -> τ;].  The receiver is
+    implicit (its type is [Self]); [inputs] are the remaining params. *)
+type raw_method = {
+  rm_name : string;
+  rm_generics : raw_generics;  (** per-method generics and where-clauses *)
+  rm_inputs : raw_ty list;
+  rm_output : raw_ty option;
+  rm_span : Span.t;
+}
+
+(** Raw expressions, for fn bodies. *)
+type raw_expr =
+  | RE_name of string list * Span.t  (** variable / unit struct / fn reference *)
+  | RE_int of Span.t
+  | RE_string of Span.t
+  | RE_call of string list * raw_expr list * Span.t  (** [f(e, ...)] or [S(e, ...)] *)
+  | RE_method of raw_expr * string * raw_expr list * Span.t
+  | RE_tuple of raw_expr list * Span.t
+
+type raw_stmt =
+  | RS_let of { name : string; ann : raw_ty option; rhs : raw_expr; span : Span.t }
+  | RS_expr of raw_expr
+
+type item =
+  | RStruct of {
+      name : string;
+      generics : raw_generics;
+      repr : raw_ty option;
+      span : Span.t;
+    }
+  | RTrait of {
+      name : string;
+      generics : raw_generics;
+      supertraits : raw_bound list;
+      assocs : raw_assoc_decl list;
+      methods : raw_method list;
+      span : Span.t;
+      attrs : attr list;
+    }
+  | RImpl of {
+      generics : raw_generics;
+      trait_ : raw_bound;
+      self_ty : raw_ty;
+      assoc_bindings : (string * raw_generics * raw_ty) list;
+      span : Span.t;
+    }
+  | RFn of {
+      name : string;
+      generics : raw_generics;
+      inputs : raw_ty list;
+      param_names : string list option;  (** named params, when a body follows *)
+      output : raw_ty option;
+      body : raw_stmt list option;
+      span : Span.t;
+    }
+  | RGoal of { pred : raw_pred; origin : string option; span : Span.t }
+  | RMod of string * item list
+  | RExtern of string * item list
+
+type t = item list

@@ -1,0 +1,110 @@
+(** Declarations of L_TRAIT: newtypes/structs, traits, and impl blocks
+    (Fig. 5), plus function items, which the paper's examples need (§2.3's
+    [run_timer] is a *function* whose type must implement [IntoSystem]).
+
+    Every declaration carries a {!Span.t} (the CtxtLinks auxiliary data)
+    and its {!Path.t} records provenance (local vs. external crate), which
+    the orphan-rule component of inertia consults. *)
+
+(** Parameters φ ⟶ ∀ ϱ̄, ᾱ where p̄ — the quantified generics of a
+    declaration together with its where-clauses. *)
+type generics = {
+  lifetimes : string list;  (** ϱ̄ — declared region parameters *)
+  ty_params : string list;  (** ᾱ — declared type parameters *)
+  where_clauses : Predicate.t list;  (** p̄ *)
+}
+
+let no_generics = { lifetimes = []; ty_params = []; where_clauses = [] }
+
+let generics ?(lifetimes = []) ?(where_clauses = []) ty_params =
+  { lifetimes; ty_params; where_clauses }
+
+(** An associated-type declaration inside a trait: [type D⟨φ₂⟩ (= τ)?]. *)
+type assoc_ty_decl = {
+  assoc_name : string;
+  assoc_generics : generics;
+  assoc_bounds : Ty.trait_ref list;  (** bounds [type D: B₁ + B₂] *)
+  assoc_default : Ty.t option;
+}
+
+(** [newtype S φ = τ] — or an opaque struct [struct S⟨φ⟩] when [repr] is
+    [None].  Nominal typing is what permits otherwise-overlapping impls. *)
+type tydecl = {
+  ty_path : Path.t;
+  ty_generics : generics;
+  ty_repr : Ty.t option;
+  ty_span : Span.t;
+}
+
+(** [trait T φ₁ { D̄ }]. *)
+type method_sig = {
+  m_name : string;
+  m_generics : generics;  (** per-method generics; where-clauses become
+                              obligations at each call site *)
+  m_inputs : Ty.t list;  (** excluding the implicit [self : Self] receiver *)
+  m_output : Ty.t;
+  m_span : Span.t;
+}
+(** A trait method signature [fn m(self, ...) -> out].  Methods enable
+    trait-method calls and the speculative resolution of the paper's §4. *)
+
+type trdecl = {
+  tr_path : Path.t;
+  tr_generics : generics;  (** generics *excluding* the implicit Self *)
+  tr_assocs : assoc_ty_decl list;
+  tr_methods : method_sig list;
+  tr_supertraits : Ty.trait_ref list;  (** [trait T: Super] *)
+  tr_span : Span.t;
+  tr_on_unimplemented : string option;
+      (** the [#[diagnostic::on_unimplemented]] custom message (§6) *)
+}
+
+(** An associated-type binding inside an impl: [type D⟨φ⟩ = τ]. *)
+type assoc_ty_binding = {
+  bind_name : string;
+  bind_generics : generics;
+  bind_ty : Ty.t;
+}
+
+(** [impl φ₁ T for τ₁ { D̄ φ₂ = τ₂ }]. *)
+type impl = {
+  impl_id : int;  (** unique within a program; stable display order *)
+  impl_generics : generics;
+  impl_trait : Ty.trait_ref;
+  impl_self : Ty.t;
+  impl_assocs : assoc_ty_binding list;
+  impl_span : Span.t;
+  impl_crate : Path.crate;  (** crate the impl block appears in *)
+}
+
+(** A function item [fn f⟨φ⟩(τ̄) -> τ].  Its type is {!Ty.FnItem}. *)
+type fndecl = {
+  fn_path : Path.t;
+  fn_generics : generics;
+  fn_inputs : Ty.t list;
+  fn_param_names : string list option;  (** present iff declared with names *)
+  fn_output : Ty.t;
+  fn_body : Expr.body option;  (** type-checked by the typeck library *)
+  fn_span : Span.t;
+}
+
+type t =
+  | Type of tydecl
+  | Trait of trdecl
+  | Impl of impl
+  | Fn of fndecl
+
+let span = function
+  | Type d -> d.ty_span
+  | Trait d -> d.tr_span
+  | Impl d -> d.impl_span
+  | Fn d -> d.fn_span
+
+let path = function
+  | Type d -> Some d.ty_path
+  | Trait d -> Some d.tr_path
+  | Fn d -> Some d.fn_path
+  | Impl _ -> None
+
+(** The self type of a fn item, e.g. [fn(Timer) -> () {run_timer}]. *)
+let fn_item_ty (f : fndecl) = Ty.FnItem (f.fn_path, f.fn_inputs, f.fn_output)

@@ -1,0 +1,83 @@
+(** Declarations of L_TRAIT: newtypes/structs, traits, impl blocks
+    (Fig. 5), and function items (§2.3's [run_timer] is a function whose
+    type must implement [IntoSystem]).  Every declaration carries a span
+    (CtxtLinks) and provenance (the orphan rule). *)
+
+(** Parameters φ ⟶ ∀ ϱ̄, ᾱ where p̄. *)
+type generics = {
+  lifetimes : string list;
+  ty_params : string list;
+  where_clauses : Predicate.t list;
+}
+
+val no_generics : generics
+val generics : ?lifetimes:string list -> ?where_clauses:Predicate.t list -> string list -> generics
+
+(** [type D⟨φ₂⟩ (: B̄)? (= τ)?] inside a trait. *)
+type assoc_ty_decl = {
+  assoc_name : string;
+  assoc_generics : generics;
+  assoc_bounds : Ty.trait_ref list;
+  assoc_default : Ty.t option;
+}
+
+(** [newtype S φ = τ], or an opaque [struct S⟨φ⟩] when [ty_repr] is
+    [None]. *)
+type tydecl = {
+  ty_path : Path.t;
+  ty_generics : generics;
+  ty_repr : Ty.t option;
+  ty_span : Span.t;
+}
+
+(** [fn m(self, ...) -> out] — the receiver is implicit with type [Self]. *)
+type method_sig = {
+  m_name : string;
+  m_generics : generics;  (** per-method generics; where-clauses become
+                              obligations at each call site *)
+  m_inputs : Ty.t list;  (** excluding the receiver *)
+  m_output : Ty.t;
+  m_span : Span.t;
+}
+
+type trdecl = {
+  tr_path : Path.t;
+  tr_generics : generics;  (** excluding the implicit Self *)
+  tr_assocs : assoc_ty_decl list;
+  tr_methods : method_sig list;
+  tr_supertraits : Ty.trait_ref list;
+  tr_span : Span.t;
+  tr_on_unimplemented : string option;
+      (** the [#[diagnostic::on_unimplemented]] custom message (§6) *)
+}
+
+type assoc_ty_binding = { bind_name : string; bind_generics : generics; bind_ty : Ty.t }
+
+(** [impl φ₁ T for τ₁ { D̄ φ₂ = τ₂ }]. *)
+type impl = {
+  impl_id : int;  (** unique within a program *)
+  impl_generics : generics;
+  impl_trait : Ty.trait_ref;
+  impl_self : Ty.t;
+  impl_assocs : assoc_ty_binding list;
+  impl_span : Span.t;
+  impl_crate : Path.crate;  (** crate the impl block appears in *)
+}
+
+type fndecl = {
+  fn_path : Path.t;
+  fn_generics : generics;
+  fn_inputs : Ty.t list;
+  fn_param_names : string list option;  (** present iff declared with names *)
+  fn_output : Ty.t;
+  fn_body : Expr.body option;  (** type-checked by the typeck library *)
+  fn_span : Span.t;
+}
+
+type t = Type of tydecl | Trait of trdecl | Impl of impl | Fn of fndecl
+
+val span : t -> Span.t
+val path : t -> Path.t option
+
+(** The fn-item type, e.g. [fn(Timer) -> () {run_timer}]. *)
+val fn_item_ty : fndecl -> Ty.t

@@ -1,0 +1,56 @@
+(** Resolved expressions — the term language whose type checking
+    *generates* trait obligations.
+
+    The paper's §4 stresses that "trait solving and type checking are
+    interleaving processes": obligations do not exist a priori, they are
+    emitted by calls and method selections while types are still full of
+    inference variables.  This small expression language (bindings,
+    literals, constructor and function calls, trait-method calls) is
+    enough to reproduce that interleaving. *)
+
+type t =
+  | Var of string * Span.t  (** a local variable *)
+  | Lit_int of Span.t
+  | Lit_str of Span.t
+  | Lit_bool of Span.t
+  | Lit_unit of Span.t
+  | Ctor of Path.t * t list * Span.t
+      (** a struct literal [S(e, ...)]; unit structs take no arguments *)
+  | Call of Path.t * t list * Span.t  (** a call of a declared fn item *)
+  | Method of t * string * t list * Span.t  (** [recv.m(args)] — trait method *)
+  | Fn_ref of Path.t * Span.t  (** naming a fn item as a value *)
+  | Tuple_expr of t list * Span.t
+
+type stmt =
+  | Let of { name : string; ann : Ty.t option; rhs : t; span : Span.t }
+  | Expr_stmt of t
+
+type body = stmt list
+
+let span_of = function
+  | Var (_, s)
+  | Lit_int s
+  | Lit_str s
+  | Lit_bool s
+  | Lit_unit s
+  | Ctor (_, _, s)
+  | Call (_, _, s)
+  | Method (_, _, _, s)
+  | Fn_ref (_, s)
+  | Tuple_expr (_, s) ->
+      s
+
+(** A short human description of an expression, for obligation origins
+    ("required by a bound introduced by ..."). *)
+let rec describe = function
+  | Var (n, _) -> Printf.sprintf "the variable `%s`" n
+  | Lit_int _ -> "this integer literal"
+  | Lit_str _ -> "this string literal"
+  | Lit_bool _ -> "this boolean literal"
+  | Lit_unit _ -> "the unit value"
+  | Ctor (p, _, _) -> Printf.sprintf "the `%s` constructor" (Path.name p)
+  | Call (p, _, _) -> Printf.sprintf "the call to `%s`" (Path.name p)
+  | Method (recv, m, _, _) ->
+      Printf.sprintf "the call to `.%s()` on %s" m (describe recv)
+  | Fn_ref (p, _) -> Printf.sprintf "the function `%s`" (Path.name p)
+  | Tuple_expr _ -> "this tuple"

@@ -1,0 +1,214 @@
+(** Hand-written lexer for the L_TRAIT surface syntax.
+
+    The syntax is small enough that a hand lexer beats a generator: it
+    keeps the front end dependency-free and produces precise spans for
+    every token, which flow through to declaration spans (CtxtLinks). *)
+
+type error = { message : string; span : Span.t }
+
+exception Error of error
+
+type spanned = { tok : Token.t; span : Span.t }
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make ~file src = { src; file; pos = 0; line = 1; col = 1 }
+
+let is_eof st = st.pos >= String.length st.src
+let peek st = if is_eof st then '\000' else st.src.[st.pos]
+let peek2 st = if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (is_eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
+
+let error st message =
+  raise
+    (Error
+       {
+         message;
+         span =
+           Span.v ~file:st.file ~start_line:st.line ~start_col:st.col ~stop_line:st.line
+             ~stop_col:st.col;
+       })
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance st;
+      skip_trivia st
+  | '/' when peek2 st = '/' ->
+      while (not (is_eof st)) && peek st <> '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | '/' when peek2 st = '*' ->
+      advance st;
+      advance st;
+      let rec loop () =
+        if is_eof st then error st "unterminated block comment"
+        else if peek st = '*' && peek2 st = '/' then begin
+          advance st;
+          advance st
+        end
+        else begin
+          advance st;
+          loop ()
+        end
+      in
+      loop ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while is_ident_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if is_eof st then error st "unterminated string literal"
+    else
+      match peek st with
+      | '"' -> advance st
+      | '\\' ->
+          advance st;
+          (match peek st with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | c -> Buffer.add_char buf c);
+          advance st;
+          loop ()
+      | c ->
+          Buffer.add_char buf c;
+          advance st;
+          loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+(** Lex one token; returns [EOF] forever at end of input. *)
+let next st : spanned =
+  skip_trivia st;
+  let start_line = st.line and start_col = st.col in
+  let fin tok =
+    {
+      tok;
+      span =
+        Span.v ~file:st.file ~start_line ~start_col ~stop_line:st.line ~stop_col:st.col;
+    }
+  in
+  if is_eof st then fin Token.EOF
+  else
+    match peek st with
+    | c when is_digit c ->
+        let start = st.pos in
+        while is_digit (peek st) do
+          advance st
+        done;
+        fin (Token.INT (int_of_string (String.sub st.src start (st.pos - start))))
+    | c when is_ident_start c ->
+        let id = lex_ident st in
+        if id = "_" then fin Token.UNDERSCORE
+        else fin (match Token.keyword_of_string id with Some k -> k | None -> Token.IDENT id)
+    | '\'' ->
+        advance st;
+        if not (is_ident_start (peek st)) then error st "expected lifetime name after '";
+        fin (Token.LIFETIME (lex_ident st))
+    | '"' -> fin (Token.STRING (lex_string st))
+    | '<' ->
+        advance st;
+        fin Token.LT
+    | '>' ->
+        advance st;
+        fin Token.GT
+    | '(' ->
+        advance st;
+        fin Token.LPAREN
+    | ')' ->
+        advance st;
+        fin Token.RPAREN
+    | '{' ->
+        advance st;
+        fin Token.LBRACE
+    | '}' ->
+        advance st;
+        fin Token.RBRACE
+    | '[' ->
+        advance st;
+        fin Token.LBRACKET
+    | ']' ->
+        advance st;
+        fin Token.RBRACKET
+    | ',' ->
+        advance st;
+        fin Token.COMMA
+    | ';' ->
+        advance st;
+        fin Token.SEMI
+    | ':' ->
+        advance st;
+        if peek st = ':' then begin
+          advance st;
+          fin Token.COLONCOLON
+        end
+        else fin Token.COLON
+    | '=' ->
+        advance st;
+        if peek st = '=' then begin
+          advance st;
+          fin Token.EQEQ
+        end
+        else fin Token.EQ
+    | '-' ->
+        advance st;
+        if peek st = '>' then begin
+          advance st;
+          fin Token.ARROW
+        end
+        else error st "expected '>' after '-'"
+    | '&' ->
+        advance st;
+        fin Token.AMP
+    | '+' ->
+        advance st;
+        fin Token.PLUS
+    | '.' ->
+        advance st;
+        fin Token.DOT
+    | '#' ->
+        advance st;
+        fin Token.HASH
+    | '!' ->
+        advance st;
+        fin Token.BANG
+    | c -> error st (Printf.sprintf "unexpected character %C" c)
+
+(** Lex the whole input eagerly. *)
+let tokenize ~file src =
+  let st = make ~file src in
+  let rec loop acc =
+    let t = next st in
+    if t.tok = Token.EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []

@@ -1,0 +1,196 @@
+(** Pretty-printing for L_TRAIT terms.
+
+    The printer is configurable along the axes the ShortTys principle
+    (§3.2.2) identifies:
+
+    - {b paths}: print only the final symbol name ([SelectStatement]) or
+      the fully-qualified path ([diesel::query_builder::SelectStatement]);
+    - {b depth}: beyond a configurable nesting depth, generic arguments are
+      elided to [...] — the interface lets the user click the ellipsis to
+      expand, which corresponds to re-printing with a larger depth budget.
+
+    The default configuration matches Argus defaults: short paths,
+    ellipsis after depth 2.  [verbose] matches rustc's fully-qualified
+    style used by the baseline diagnostics renderer. *)
+
+type config = {
+  qualified_paths : bool;  (** print full definition paths *)
+  max_depth : int;  (** generic args deeper than this render as [...] *)
+  show_regions : bool;  (** print lifetimes on references *)
+}
+
+let default = { qualified_paths = false; max_depth = 2; show_regions = false }
+
+(** rustc-like: fully qualified, effectively unbounded depth. *)
+let verbose = { qualified_paths = true; max_depth = 1000; show_regions = true }
+
+(** Fully expanded but short paths: what Argus shows after the user clicks
+    every ellipsis. *)
+let expanded = { default with max_depth = 1000 }
+
+let path_str cfg p = if cfg.qualified_paths then Path.to_string p else Path.name p
+
+let region_str cfg r =
+  if cfg.show_regions then Region.to_string r ^ " "
+  else match r with Region.Static -> "'static " | _ -> ""
+
+let rec ty ?(cfg = default) ?(depth = 0) (t : Ty.t) =
+  let buf = Buffer.create 32 in
+  ty_buf cfg depth buf t;
+  Buffer.contents buf
+
+and ty_buf cfg depth buf (t : Ty.t) =
+  let add = Buffer.add_string buf in
+  match t with
+  | Unit -> add "()"
+  | Bool -> add "bool"
+  | Int -> add "i32"
+  | Uint -> add "usize"
+  | Float -> add "f64"
+  | Str -> add "String"
+  | Param name -> add name
+  | Infer i -> add (if cfg.qualified_paths then Printf.sprintf "?%d" i else "_")
+  | Ref (r, t') ->
+      add "&";
+      add (region_str cfg r);
+      ty_buf cfg depth buf t'
+  | RefMut (r, t') ->
+      add "&";
+      add (region_str cfg r);
+      add "mut ";
+      ty_buf cfg depth buf t'
+  | Ctor (p, args) ->
+      add (path_str cfg p);
+      args_buf cfg depth buf args
+  | Tuple ts ->
+      add "(";
+      List.iteri
+        (fun i t' ->
+          if i > 0 then add ", ";
+          ty_buf cfg (depth + 1) buf t')
+        ts;
+      (* 1-tuples need the distinguishing trailing comma *)
+      if List.length ts = 1 then add ",";
+      add ")"
+  | FnPtr (args, ret) ->
+      add "fn(";
+      List.iteri
+        (fun i t' ->
+          if i > 0 then add ", ";
+          ty_buf cfg (depth + 1) buf t')
+        args;
+      add ")";
+      if not (Ty.equal ret Ty.Unit) then (
+        add " -> ";
+        ty_buf cfg (depth + 1) buf ret)
+  | FnItem (p, args, ret) ->
+      (* rustc style: [fn(Timer) {run_timer}] *)
+      add "fn(";
+      List.iteri
+        (fun i t' ->
+          if i > 0 then add ", ";
+          ty_buf cfg (depth + 1) buf t')
+        args;
+      add ")";
+      if not (Ty.equal ret Ty.Unit) then (
+        add " -> ";
+        ty_buf cfg (depth + 1) buf ret);
+      add " {";
+      add (path_str cfg p);
+      add "}"
+  | Dynamic tr ->
+      add "dyn ";
+      add (path_str cfg tr.trait);
+      args_buf cfg depth buf tr.args
+  | Proj p -> projection_buf cfg depth buf p
+
+and args_buf cfg depth buf (args : Ty.arg list) =
+  if args <> [] then
+    if depth >= cfg.max_depth then Buffer.add_string buf "<...>"
+    else begin
+      Buffer.add_string buf "<";
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          match a with
+          | Ty.Ty t -> ty_buf cfg (depth + 1) buf t
+          | Ty.Lifetime r -> Buffer.add_string buf (Region.to_string r))
+        args;
+      Buffer.add_string buf ">"
+    end
+
+and projection_buf cfg depth buf (p : Ty.projection) =
+  let add = Buffer.add_string buf in
+  add "<";
+  ty_buf cfg (depth + 1) buf p.self_ty;
+  add " as ";
+  add (path_str cfg p.proj_trait.trait);
+  args_buf cfg (depth + 1) buf p.proj_trait.args;
+  add ">::";
+  add p.assoc;
+  args_buf cfg (depth + 1) buf p.assoc_args
+
+let trait_ref ?(cfg = default) (tr : Ty.trait_ref) =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (path_str cfg tr.trait);
+  args_buf cfg 0 buf tr.args;
+  Buffer.contents buf
+
+let projection ?(cfg = default) p =
+  let buf = Buffer.create 32 in
+  projection_buf cfg 0 buf p;
+  Buffer.contents buf
+
+let predicate ?(cfg = default) (p : Predicate.t) =
+  match p with
+  | Trait { self_ty; trait_ref = tr } ->
+      Printf.sprintf "%s: %s" (ty ~cfg self_ty) (trait_ref ~cfg tr)
+  | Projection { projection = pr; term } ->
+      Printf.sprintf "%s == %s" (projection ~cfg pr) (ty ~cfg term)
+  | TypeOutlives (t, r) -> Printf.sprintf "%s: %s" (ty ~cfg t) (Region.to_string r)
+  | RegionOutlives (a, b) ->
+      Printf.sprintf "%s: %s" (Region.to_string a) (Region.to_string b)
+  | WellFormed t -> Printf.sprintf "well-formed(%s)" (ty ~cfg t)
+  | ObjectSafe tr -> Printf.sprintf "object-safe(%s)" (path_str cfg tr)
+  | ConstEvaluatable e -> Printf.sprintf "const-evaluatable(%s)" e
+  | NormalizesTo (pr, v) ->
+      Printf.sprintf "normalizes-to(%s, ?%d)" (projection ~cfg pr) v
+
+let generics ?cfg:(_ = default) (g : Decl.generics) =
+  if g.lifetimes = [] && g.ty_params = [] then ""
+  else
+    let lts = List.map (fun l -> "'" ^ l) g.lifetimes in
+    "<" ^ String.concat ", " (lts @ g.ty_params) ^ ">"
+
+let where_clauses ?(cfg = default) (ps : Predicate.t list) =
+  if ps = [] then ""
+  else " where " ^ String.concat ", " (List.map (predicate ~cfg) ps)
+
+(** Header line of an impl block, as shown in the Argus tree:
+    [impl<T, U, QS> AppearsOnTable<QS> for Eq<T, U>]. *)
+let impl_header ?(cfg = default) (i : Decl.impl) =
+  Printf.sprintf "impl%s %s for %s"
+    (generics ~cfg i.impl_generics)
+    (trait_ref ~cfg i.impl_trait)
+    (ty ~cfg i.impl_self)
+
+let impl ?(cfg = default) (i : Decl.impl) =
+  impl_header ~cfg i ^ where_clauses ~cfg i.impl_generics.where_clauses
+
+let trait_decl ?(cfg = default) (d : Decl.trdecl) =
+  Printf.sprintf "trait %s%s%s" (path_str cfg d.tr_path)
+    (generics ~cfg d.tr_generics)
+    (where_clauses ~cfg d.tr_generics.where_clauses)
+
+let tydecl ?(cfg = default) (d : Decl.tydecl) =
+  match d.ty_repr with
+  | None -> Printf.sprintf "struct %s%s" (path_str cfg d.ty_path) (generics ~cfg d.ty_generics)
+  | Some repr ->
+      Printf.sprintf "newtype %s%s = %s" (path_str cfg d.ty_path)
+        (generics ~cfg d.ty_generics) (ty ~cfg repr)
+
+let fndecl ?(cfg = default) (d : Decl.fndecl) =
+  Printf.sprintf "fn %s%s(%s) -> %s" (path_str cfg d.fn_path)
+    (generics ~cfg d.fn_generics)
+    (String.concat ", " (List.map (ty ~cfg) d.fn_inputs))
+    (ty ~cfg d.fn_output)

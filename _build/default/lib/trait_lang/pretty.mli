@@ -1,0 +1,35 @@
+(** Pretty-printing for L_TRAIT terms, configurable along the ShortTys
+    axes (§3.2.2): path qualification and the depth beyond which generic
+    arguments elide to [...]. *)
+
+type config = {
+  qualified_paths : bool;  (** print full definition paths *)
+  max_depth : int;  (** generic args deeper than this render as [...] *)
+  show_regions : bool;
+}
+
+(** Argus defaults: short paths, ellipsis after depth 2. *)
+val default : config
+
+(** rustc-like: fully qualified, unbounded depth. *)
+val verbose : config
+
+(** Short paths, fully expanded (every ellipsis clicked open). *)
+val expanded : config
+
+val ty : ?cfg:config -> ?depth:int -> Ty.t -> string
+val trait_ref : ?cfg:config -> Ty.trait_ref -> string
+val projection : ?cfg:config -> Ty.projection -> string
+val predicate : ?cfg:config -> Predicate.t -> string
+val generics : ?cfg:config -> Decl.generics -> string
+val where_clauses : ?cfg:config -> Predicate.t list -> string
+
+(** [impl<T, U> Trait<U> for Self_ty] — as shown in the Argus tree. *)
+val impl_header : ?cfg:config -> Decl.impl -> string
+
+(** Header plus where-clauses. *)
+val impl : ?cfg:config -> Decl.impl -> string
+
+val trait_decl : ?cfg:config -> Decl.trdecl -> string
+val tydecl : ?cfg:config -> Decl.tydecl -> string
+val fndecl : ?cfg:config -> Decl.fndecl -> string

@@ -1,0 +1,50 @@
+(** A whole L_TRAIT program: the context (tydecls, trdecls, impls, fns)
+    plus the root obligations ({i goals}) that type-checking the user's
+    code would generate, with the indexes the solver needs. *)
+
+type goal = {
+  goal_pred : Predicate.t;
+  goal_span : Span.t;  (** where the obligation arose *)
+  goal_origin : string;  (** e.g. "the call to .load(conn)" *)
+}
+
+type t
+
+val empty : t
+
+exception Duplicate_decl of Path.t
+
+val add_type : Decl.tydecl -> t -> t
+val add_trait : Decl.trdecl -> t -> t
+val add_fn : Decl.fndecl -> t -> t
+val add_impl : Decl.impl -> t -> t
+
+(** Append a goal (goals solve in insertion order). *)
+val add_goal : goal -> t -> t
+
+(** Replace the goal list (e.g. to reorder). *)
+val with_goals : goal list -> t -> t
+
+val add_decl : Decl.t -> t -> t
+val of_decls : ?goals:goal list -> Decl.t list -> t
+
+val types : t -> Decl.tydecl list
+val traits : t -> Decl.trdecl list
+val impls : t -> Decl.impl list
+val fns : t -> Decl.fndecl list
+val goals : t -> goal list
+
+val find_type : t -> Path.t -> Decl.tydecl option
+val find_trait : t -> Path.t -> Decl.trdecl option
+val find_fn : t -> Path.t -> Decl.fndecl option
+
+(** All impl blocks of a trait — the CtxtLinks Fig. 8b listing. *)
+val impls_of_trait : t -> Path.t -> Decl.impl list
+
+val find_impl : t -> int -> Decl.impl option
+
+(** Resolve an unqualified item name to its unique path. *)
+val resolve_name :
+  t -> string -> (Path.t, [ `Not_found of string | `Ambiguous of string * Path.t list ]) result
+
+val decl_count : t -> int

@@ -1,0 +1,35 @@
+(** Regions (lifetimes).
+
+    L_TRAIT types carry region-annotated references.  Regions matter to the
+    trait language mostly through outlives-predicates; the solver treats
+    them far more coarsely than rustc's borrow checker, which is faithful
+    to the paper's idealization (Fig. 5 includes [τ : ϱ] predicates but the
+    paper never depends on region inference). *)
+
+type t =
+  | Static  (** ['static] *)
+  | Named of string  (** a universally quantified region parameter, ['a] *)
+  | Infer of int  (** an unresolved region inference variable, ['?0] *)
+  | Erased  (** region elided in the source and irrelevant to solving *)
+
+let static = Static
+let named n = Named n
+let infer i = Infer i
+let erased = Erased
+
+let equal a b =
+  match (a, b) with
+  | Static, Static | Erased, Erased -> true
+  | Named a, Named b -> String.equal a b
+  | Infer a, Infer b -> Int.equal a b
+  | _ -> false
+
+let compare = Stdlib.compare
+
+let to_string = function
+  | Static -> "'static"
+  | Named n -> "'" ^ n
+  | Infer i -> Printf.sprintf "'?%d" i
+  | Erased -> "'_"
+
+let pp ppf r = Fmt.string ppf (to_string r)

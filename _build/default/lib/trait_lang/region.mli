@@ -1,0 +1,17 @@
+(** Regions (lifetimes).  The trait solver treats them far more coarsely
+    than the borrow checker, faithful to the paper's idealization. *)
+
+type t =
+  | Static  (** ['static] *)
+  | Named of string  (** a universally quantified region parameter *)
+  | Infer of int  (** an unresolved region inference variable *)
+  | Erased  (** elided in source and irrelevant to solving *)
+
+val static : t
+val named : string -> t
+val infer : int -> t
+val erased : t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

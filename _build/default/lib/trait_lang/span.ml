@@ -1,0 +1,45 @@
+(** Source spans.
+
+    Spans are the "auxiliary information" of the CtxtLinks principle: the
+    inference tree itself shows only trait bounds and impl blocks, while
+    source locations are available on demand (jump-to-definition in the
+    IDE; [--spans] in the CLI). *)
+
+type pos = { line : int; col : int }
+
+type t = { file : string; start : pos; stop : pos }
+
+let dummy = { file = "<builtin>"; start = { line = 0; col = 0 }; stop = { line = 0; col = 0 } }
+
+let v ~file ~start_line ~start_col ~stop_line ~stop_col =
+  {
+    file;
+    start = { line = start_line; col = start_col };
+    stop = { line = stop_line; col = stop_col };
+  }
+
+let is_dummy s = s.file = dummy.file
+
+let file s = s.file
+let start_line s = s.start.line
+
+(** [file.rs:12:8] style rendering, as used in rustc diagnostics. *)
+let to_string s =
+  if is_dummy s then "<builtin>"
+  else Printf.sprintf "%s:%d:%d" s.file s.start.line s.start.col
+
+let pp ppf s = Fmt.string ppf (to_string s)
+
+let equal (a : t) (b : t) = a = b
+
+(** Merge two spans into the smallest span covering both (same file). *)
+let union a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else
+    let le p q = p.line < q.line || (p.line = q.line && p.col <= q.col) in
+    {
+      file = a.file;
+      start = (if le a.start b.start then a.start else b.start);
+      stop = (if le a.stop b.stop then b.stop else a.stop);
+    }

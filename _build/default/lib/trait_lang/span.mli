@@ -1,0 +1,23 @@
+(** Source spans — the CtxtLinks auxiliary data, served on demand rather
+    than interleaved into the inference tree. *)
+
+type pos = { line : int; col : int }
+type t = { file : string; start : pos; stop : pos }
+
+val dummy : t
+
+val v :
+  file:string -> start_line:int -> start_col:int -> stop_line:int -> stop_col:int -> t
+
+val is_dummy : t -> bool
+val file : t -> string
+val start_line : t -> int
+
+(** [file.rs:12:8], as in rustc diagnostics. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+(** Smallest span covering both (dummy spans are absorbed). *)
+val union : t -> t -> t

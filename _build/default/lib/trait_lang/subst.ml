@@ -1,0 +1,70 @@
+(** Substitutions: finite maps from universally quantified parameters to
+    types/regions, applied capture-free over L_TRAIT terms.
+
+    The solver instantiates a declaration's generics with fresh inference
+    variables by building a substitution here; impls' associated-type
+    bindings are projected through the same machinery. *)
+
+module StrMap = Map.Make (String)
+
+type t = { tys : Ty.t StrMap.t; regions : Region.t StrMap.t }
+
+let empty = { tys = StrMap.empty; regions = StrMap.empty }
+
+let is_empty s = StrMap.is_empty s.tys && StrMap.is_empty s.regions
+
+let add_ty name ty s = { s with tys = StrMap.add name ty s.tys }
+let add_region name r s = { s with regions = StrMap.add name r s.regions }
+
+let of_list ?(regions = []) tys =
+  let s = List.fold_left (fun s (n, t) -> add_ty n t s) empty tys in
+  List.fold_left (fun s (n, r) -> add_region n r s) s regions
+
+let find_ty name s = StrMap.find_opt name s.tys
+let find_region name s = StrMap.find_opt name s.regions
+
+let bindings s = StrMap.bindings s.tys
+
+let region_subst s = function
+  | Region.Named n as r -> Option.value ~default:r (find_region n s)
+  | r -> r
+
+let rec ty s (t : Ty.t) : Ty.t =
+  match t with
+  | Unit | Bool | Int | Uint | Float | Str | Infer _ -> t
+  | Param name -> Option.value ~default:t (find_ty name s)
+  | Ref (r, t') -> Ref (region_subst s r, ty s t')
+  | RefMut (r, t') -> RefMut (region_subst s r, ty s t')
+  | Ctor (p, args) -> Ctor (p, List.map (arg s) args)
+  | Tuple ts -> Tuple (List.map (ty s) ts)
+  | FnPtr (args, ret) -> FnPtr (List.map (ty s) args, ty s ret)
+  | FnItem (p, args, ret) -> FnItem (p, List.map (ty s) args, ty s ret)
+  | Dynamic tr -> Dynamic (trait_ref s tr)
+  | Proj p -> Proj (projection s p)
+
+and arg s : Ty.arg -> Ty.arg = function
+  | Ty t -> Ty (ty s t)
+  | Lifetime r -> Lifetime (region_subst s r)
+
+and trait_ref s (tr : Ty.trait_ref) : Ty.trait_ref =
+  { tr with args = List.map (arg s) tr.args }
+
+and projection s (p : Ty.projection) : Ty.projection =
+  {
+    p with
+    self_ty = ty s p.self_ty;
+    proj_trait = trait_ref s p.proj_trait;
+    assoc_args = List.map (arg s) p.assoc_args;
+  }
+
+let predicate s (p : Predicate.t) : Predicate.t =
+  match p with
+  | Trait { self_ty; trait_ref = tr } ->
+      Trait { self_ty = ty s self_ty; trait_ref = trait_ref s tr }
+  | Projection { projection = pr; term } ->
+      Projection { projection = projection s pr; term = ty s term }
+  | TypeOutlives (t, r) -> TypeOutlives (ty s t, region_subst s r)
+  | RegionOutlives (a, b) -> RegionOutlives (region_subst s a, region_subst s b)
+  | WellFormed t -> WellFormed (ty s t)
+  | ObjectSafe _ | ConstEvaluatable _ -> p
+  | NormalizesTo (pr, v) -> NormalizesTo (projection s pr, v)

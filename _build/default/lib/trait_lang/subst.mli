@@ -1,0 +1,20 @@
+(** Substitutions: finite maps from universally quantified parameters to
+    types/regions, applied capture-free over L_TRAIT terms. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val add_ty : string -> Ty.t -> t -> t
+val add_region : string -> Region.t -> t -> t
+val of_list : ?regions:(string * Region.t) list -> (string * Ty.t) list -> t
+val find_ty : string -> t -> Ty.t option
+val find_region : string -> t -> Region.t option
+val bindings : t -> (string * Ty.t) list
+
+val region_subst : t -> Region.t -> Region.t
+val ty : t -> Ty.t -> Ty.t
+val arg : t -> Ty.arg -> Ty.arg
+val trait_ref : t -> Ty.trait_ref -> Ty.trait_ref
+val projection : t -> Ty.projection -> Ty.projection
+val predicate : t -> Predicate.t -> Predicate.t

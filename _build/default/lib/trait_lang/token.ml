@@ -1,0 +1,113 @@
+(** Tokens of the L_TRAIT surface syntax. *)
+
+type t =
+  | IDENT of string
+  | LIFETIME of string  (** ['a] without the quote *)
+  | STRING of string  (** ["..."] literal, for attributes and goal origins *)
+  | INT of int
+  (* Keywords *)
+  | KW_EXTERN
+  | KW_CRATE
+  | KW_MOD
+  | KW_STRUCT
+  | KW_NEWTYPE
+  | KW_TRAIT
+  | KW_IMPL
+  | KW_FOR
+  | KW_WHERE
+  | KW_FN
+  | KW_GOAL
+  | KW_TYPE
+  | KW_DYN
+  | KW_MUT
+  | KW_AS
+  | KW_SELF  (** [Self] *)
+  | KW_FROM
+  (* Punctuation *)
+  | LT  (** [<] *)
+  | GT  (** [>] *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | COLONCOLON  (** [::] *)
+  | EQEQ  (** [==] *)
+  | EQ  (** [=] *)
+  | ARROW  (** [->] *)
+  | AMP  (** [&] *)
+  | PLUS
+  | HASH  (** [#] *)
+  | BANG
+  | DOT  (** [.] *)
+  | UNDERSCORE
+  | EOF
+
+let keyword_of_string = function
+  | "extern" -> Some KW_EXTERN
+  | "crate" -> Some KW_CRATE
+  | "mod" -> Some KW_MOD
+  | "struct" -> Some KW_STRUCT
+  | "newtype" -> Some KW_NEWTYPE
+  | "trait" -> Some KW_TRAIT
+  | "impl" -> Some KW_IMPL
+  | "for" -> Some KW_FOR
+  | "where" -> Some KW_WHERE
+  | "fn" -> Some KW_FN
+  | "goal" -> Some KW_GOAL
+  | "type" -> Some KW_TYPE
+  | "dyn" -> Some KW_DYN
+  | "mut" -> Some KW_MUT
+  | "as" -> Some KW_AS
+  | "Self" -> Some KW_SELF
+  | "from" -> Some KW_FROM
+  | _ -> None
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | LIFETIME s -> Printf.sprintf "lifetime '%s" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | INT i -> string_of_int i
+  | KW_EXTERN -> "'extern'"
+  | KW_CRATE -> "'crate'"
+  | KW_MOD -> "'mod'"
+  | KW_STRUCT -> "'struct'"
+  | KW_NEWTYPE -> "'newtype'"
+  | KW_TRAIT -> "'trait'"
+  | KW_IMPL -> "'impl'"
+  | KW_FOR -> "'for'"
+  | KW_WHERE -> "'where'"
+  | KW_FN -> "'fn'"
+  | KW_GOAL -> "'goal'"
+  | KW_TYPE -> "'type'"
+  | KW_DYN -> "'dyn'"
+  | KW_MUT -> "'mut'"
+  | KW_AS -> "'as'"
+  | KW_SELF -> "'Self'"
+  | KW_FROM -> "'from'"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | COLONCOLON -> "'::'"
+  | EQEQ -> "'=='"
+  | EQ -> "'='"
+  | ARROW -> "'->'"
+  | AMP -> "'&'"
+  | PLUS -> "'+'"
+  | HASH -> "'#'"
+  | BANG -> "'!'"
+  | DOT -> "'.'"
+  | UNDERSCORE -> "'_'"
+  | EOF -> "end of input"

@@ -1,0 +1,1 @@
+lib/typeck/infer.ml: Decl Expr List Option Path Predicate Printf Program Solver Span Subst Trait_lang Ty

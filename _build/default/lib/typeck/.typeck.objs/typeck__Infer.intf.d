@@ -1,0 +1,1 @@
+lib/typeck/infer.mli: Decl Program Solver Span Trait_lang Ty

@@ -1,0 +1,1 @@
+test/test_argus.ml: Alcotest Argus Corpus Format List Option Path Predicate Pretty Program QCheck QCheck_alcotest Region Resolve Solver Span String Trait_lang Ty

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Argus Corpus List Option Pretty Program Resolve Rustc_diag Solver Trait_lang

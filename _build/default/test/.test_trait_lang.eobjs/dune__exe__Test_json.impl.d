@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Argus Argus_json Corpus Decode Encode Hashtbl Json List Option Path Predicate Printf QCheck QCheck_alcotest Region Trait_lang Ty

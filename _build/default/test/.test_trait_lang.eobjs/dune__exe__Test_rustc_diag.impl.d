@@ -1,0 +1,1 @@
+test/test_rustc_diag.ml: Alcotest Argus Corpus List Option Path Predicate Program Resolve Rustc_diag Solver Span Stats String Trait_lang Ty

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Buffer Corpus Decl Hashtbl List Path Predicate Pretty Printf Program QCheck QCheck_alcotest Region Resolve Result Solver Span Trait_lang Ty

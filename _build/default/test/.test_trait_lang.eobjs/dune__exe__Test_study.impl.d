@@ -1,0 +1,1 @@
+test/test_study.ml: Alcotest Lazy List Printf Stats String Study

@@ -1,0 +1,1 @@
+test/test_trait_lang.ml: Alcotest Lexer List Option Parser Path Predicate Pretty Program QCheck QCheck_alcotest Region Resolve Span String Subst Token Trait_lang Ty

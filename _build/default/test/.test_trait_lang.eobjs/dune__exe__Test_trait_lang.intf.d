@@ -1,0 +1,1 @@
+test/test_trait_lang.mli:

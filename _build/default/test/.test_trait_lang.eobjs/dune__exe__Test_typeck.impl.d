@@ -1,0 +1,1 @@
+test/test_typeck.ml: Alcotest Argus Corpus List Path Pretty Printf QCheck QCheck_alcotest Resolve Solver String Trait_lang Typeck

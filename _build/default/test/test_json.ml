@@ -1,0 +1,290 @@
+(** Tests for the JSON substrate: printing, parsing, round-trips (unit and
+    property-based), and the type-system / proof-tree encoders. *)
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let check_str = Alcotest.check Alcotest.string
+
+open Argus_json
+
+(* ------------------------------------------------------------------ *)
+(* printing *)
+
+let test_print_scalars () =
+  check_str "null" "null" (Json.to_string Json.Null);
+  check_str "true" "true" (Json.to_string (Json.Bool true));
+  check_str "int" "42" (Json.to_string (Json.Int 42));
+  check_str "neg" "-7" (Json.to_string (Json.Int (-7)));
+  check_str "float" "1.5" (Json.to_string (Json.Float 1.5));
+  check_str "string" "\"hi\"" (Json.to_string (Json.String "hi"))
+
+let test_print_escapes () =
+  check_str "quotes" {|"a\"b"|} (Json.to_string (Json.String {|a"b|}));
+  check_str "backslash" {|"a\\b"|} (Json.to_string (Json.String {|a\b|}));
+  check_str "newline" {|"a\nb"|} (Json.to_string (Json.String "a\nb"));
+  check_str "control" "\"\\u0001\"" (Json.to_string (Json.String "\001"))
+
+let test_print_containers () =
+  check_str "list" "[1,2,3]" (Json.to_string (Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]));
+  check_str "empty list" "[]" (Json.to_string (Json.List []));
+  check_str "obj" {|{"a":1,"b":[true]}|}
+    (Json.to_string (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true ]) ]));
+  check_str "empty obj" "{}" (Json.to_string (Json.Obj []))
+
+let test_pretty_print_parses_back () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.String "argus");
+        ("nested", Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Null ]) ]);
+      ]
+  in
+  check_bool "pretty round-trip" true (Json.equal (Json.of_string (Json.to_string_pretty v)) v)
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+let test_parse_scalars () =
+  check_bool "null" true (Json.of_string "null" = Json.Null);
+  check_bool "bools" true
+    (Json.of_string "true" = Json.Bool true && Json.of_string "false" = Json.Bool false);
+  check_bool "int" true (Json.of_string " 42 " = Json.Int 42);
+  check_bool "float" true (Json.of_string "2.5" = Json.Float 2.5);
+  check_bool "exp float" true (Json.of_string "1e3" = Json.Float 1000.0)
+
+let test_parse_strings () =
+  check_bool "escapes" true (Json.of_string {|"a\n\t\"\\"|} = Json.String "a\n\t\"\\");
+  check_bool "unicode bmp" true (Json.of_string {|"A"|} = Json.String "A");
+  check_bool "unicode two-byte" true (Json.of_string {|"é"|} = Json.String "\xc3\xa9")
+
+let test_parse_containers () =
+  check_bool "nested" true
+    (Json.of_string {|{"a": [1, {"b": null}], "c": "x"}|}
+    = Json.Obj
+        [
+          ("a", Json.List [ Json.Int 1; Json.Obj [ ("b", Json.Null) ] ]);
+          ("c", Json.String "x");
+        ])
+
+let test_parse_errors () =
+  let fails s = try ignore (Json.of_string s); false with Json.Parse_error _ -> true in
+  check_bool "trailing garbage" true (fails "1 x");
+  check_bool "unterminated" true (fails {|"abc|});
+  check_bool "bad literal" true (fails "nul");
+  check_bool "missing colon" true (fails {|{"a" 1}|});
+  check_bool "empty" true (fails "")
+
+let test_accessors () =
+  let v = Json.of_string {|{"a": 1, "b": "x", "c": [true]}|} in
+  check_bool "member" true (Json.member "a" v = Some (Json.Int 1));
+  check_bool "missing member" true (Json.member "z" v = None);
+  check_bool "to_int" true (Option.bind (Json.member "a" v) Json.to_int_opt = Some 1);
+  check_bool "to_string" true (Option.bind (Json.member "b" v) Json.to_string_opt = Some "x");
+  check_bool "to_list" true
+    (Option.bind (Json.member "c" v) Json.to_list_opt = Some [ Json.Bool true ])
+
+(* property: print/parse round-trip *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) small_signed_int;
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 10));
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun xs -> Json.List xs) (list_size (int_range 0 4) (node (depth - 1))));
+          ( 1,
+            map
+              (fun xs -> Json.Obj (List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) xs))
+              (list_size (int_range 0 4) (node (depth - 1))) );
+        ]
+  in
+  node 3
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip" ~count:300
+    (QCheck.make ~print:Json.to_string json_gen) (fun v ->
+      Json.equal (Json.of_string (Json.to_string v)) v)
+
+let prop_pretty_roundtrip =
+  QCheck.Test.make ~name:"pretty-print/parse round-trip" ~count:300
+    (QCheck.make ~print:Json.to_string json_gen) (fun v ->
+      Json.equal (Json.of_string (Json.to_string_pretty v)) v)
+
+(* ------------------------------------------------------------------ *)
+(* encoders *)
+
+open Trait_lang
+
+let test_encode_ty_shape () =
+  let t =
+    Ty.ctor (Path.external_ "bevy" [ "ResMut" ]) [ Ty.ctor (Path.local [ "Timer" ]) [] ]
+  in
+  let j = Encode.ty t in
+  check_bool "kind adt" true (Json.member "kind" j = Some (Json.String "adt"));
+  match Json.member "path" j with
+  | Some p -> check_bool "crate bevy" true (Json.member "crate" p = Some (Json.String "bevy"))
+  | None -> Alcotest.fail "missing path"
+
+let test_encode_predicate_shape () =
+  let p =
+    Predicate.trait_
+      (Ty.ctor (Path.local [ "Timer" ]) [])
+      (Ty.trait_ref (Path.external_ "bevy" [ "SystemParam" ]))
+  in
+  let j = Encode.predicate p in
+  check_bool "kind trait" true (Json.member "kind" j = Some (Json.String "trait"))
+
+let test_encode_tree_valid_and_consistent () =
+  let entry = Option.get (Corpus.Suite.find "bevy-errant-param") in
+  let _, tree = Corpus.Harness.failed_tree entry in
+  let j = Encode.proof_tree tree in
+  (* serialize, parse back, and check the node/link structure *)
+  let j' = Json.of_string (Json.to_string j) in
+  check_bool "round-trips" true (Json.equal j j');
+  let nodes = Option.get (Option.bind (Json.member "nodes" j') Json.to_list_opt) in
+  check_int "all nodes present" (Argus.Proof_tree.size tree) (List.length nodes);
+  (* every child link points at a node whose parent is this node *)
+  let parent_of = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let id = Option.get (Option.bind (Json.member "id" n) Json.to_int_opt) in
+      Hashtbl.replace parent_of id (Json.member "parent" n))
+    nodes;
+  List.iter
+    (fun n ->
+      let id = Option.get (Option.bind (Json.member "id" n) Json.to_int_opt) in
+      let children = Option.get (Option.bind (Json.member "children" n) Json.to_list_opt) in
+      List.iter
+        (fun c ->
+          let cid = Option.get (Json.to_int_opt c) in
+          check_bool "child's parent backlink" true
+            (Hashtbl.find parent_of cid = Some (Json.Int id)))
+        children)
+    nodes
+
+let test_encode_report () =
+  let entry = Option.get (Corpus.Suite.find "space-bad-fuel") in
+  let _, report = Corpus.Harness.solve entry in
+  let j = Encode.report report in
+  let goals = Option.get (Option.bind (Json.member "goals" j) Json.to_list_opt) in
+  check_int "one goal" 1 (List.length goals);
+  check_bool "status disproved" true
+    (Json.member "status" (List.hd goals) = Some (Json.String "disproved"))
+
+(* ------------------------------------------------------------------ *)
+(* decoders: encode/decode round trips on the type system *)
+
+let tl_ty_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Ty.Unit;
+        return Ty.Int;
+        return Ty.Str;
+        map (fun i -> Ty.Infer (abs i mod 9)) int;
+        map (fun b -> Ty.Param (if b then "T" else "U")) bool;
+        return (Ty.ctor (Path.local [ "A" ]) []);
+        return (Ty.ctor (Path.external_ "dep" [ "m"; "B" ]) []);
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          (1, map (fun t -> Ty.ref_ ~region:(Region.named "a") t) (node (depth - 1)));
+          (1, map (fun t -> Ty.ref_mut t) (node (depth - 1)));
+          (1, map (fun t -> Ty.ctor (Path.external_ "c" [ "W" ]) [ t ]) (node (depth - 1)));
+          (1, map2 (fun a b -> Ty.tuple [ a; b ]) (node (depth - 1)) (node (depth - 1)));
+          (1, map2 (fun a b -> Ty.fn_ptr [ a ] b) (node (depth - 1)) (node (depth - 1)));
+          ( 1,
+            map
+              (fun t ->
+                Ty.proj
+                  (Ty.projection t (Ty.trait_ref ~args:[ Ty.Int ] (Path.external_ "s" [ "Tr" ])) "Out"))
+              (node (depth - 1)) );
+        ]
+  in
+  node 3
+
+let tl_pred_gen =
+  let open QCheck.Gen in
+  let* t = tl_ty_gen in
+  let* choice = int_range 0 3 in
+  match choice with
+  | 0 -> return (Predicate.trait_ t (Ty.trait_ref ~args:[ Ty.Int ] (Path.external_ "s" [ "Tr" ])))
+  | 1 ->
+      return
+        (Predicate.projection_eq
+           (Ty.projection t (Ty.trait_ref (Path.external_ "s" [ "Tr" ])) "Out")
+           Ty.Int)
+  | 2 -> return (Predicate.outlives t Region.Static)
+  | _ -> return (Predicate.well_formed t)
+
+let prop_ty_encode_decode =
+  QCheck.Test.make ~name:"ty encode/decode round-trip (through text)" ~count:300
+    (QCheck.make ~print:(fun t -> Trait_lang.Pretty.ty ~cfg:Trait_lang.Pretty.verbose t) tl_ty_gen)
+    (fun t ->
+      let j = Json.of_string (Json.to_string (Encode.ty t)) in
+      Ty.equal (Decode.ty_of_json j) t)
+
+let prop_pred_encode_decode =
+  QCheck.Test.make ~name:"predicate encode/decode round-trip" ~count:300
+    (QCheck.make
+       ~print:(fun p -> Trait_lang.Pretty.predicate ~cfg:Trait_lang.Pretty.verbose p)
+       tl_pred_gen)
+    (fun p ->
+      let j = Json.of_string (Json.to_string (Encode.predicate p)) in
+      Predicate.equal (Decode.predicate_of_json j) p)
+
+let test_decode_errors () =
+  let fails f j = try ignore (f (Json.of_string j)); false with Decode.Decode_error _ -> true in
+  check_bool "bad kind" true (fails Decode.ty_of_json {|{"kind": "nope"}|});
+  check_bool "missing field" true (fails Decode.ty_of_json {|{"kind": "param"}|});
+  check_bool "wrong shape" true (fails Decode.predicate_of_json {|{"kind": "trait"}|});
+  check_bool "not an object" true (fails Decode.ty_of_json "[1,2]")
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_pretty_roundtrip; prop_ty_encode_decode; prop_pred_encode_decode ]
+
+let () =
+  Alcotest.run "json"
+    [
+      ( "print",
+        [
+          Alcotest.test_case "scalars" `Quick test_print_scalars;
+          Alcotest.test_case "escapes" `Quick test_print_escapes;
+          Alcotest.test_case "containers" `Quick test_print_containers;
+          Alcotest.test_case "pretty" `Quick test_pretty_print_parses_back;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "scalars" `Quick test_parse_scalars;
+          Alcotest.test_case "strings" `Quick test_parse_strings;
+          Alcotest.test_case "containers" `Quick test_parse_containers;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "ty shape" `Quick test_encode_ty_shape;
+          Alcotest.test_case "predicate shape" `Quick test_encode_predicate_shape;
+          Alcotest.test_case "tree consistency" `Quick test_encode_tree_valid_and_consistent;
+          Alcotest.test_case "report" `Quick test_encode_report;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+        ] );
+      ("properties", qcheck_tests);
+    ]

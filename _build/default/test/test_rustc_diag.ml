@@ -1,0 +1,187 @@
+(** Tests for the rustc-style baseline diagnostics: error codes, chain
+    reporting, branch-point stopping, elision, on_unimplemented, and the
+    Fig. 12a distance metric. *)
+
+open Trait_lang
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let check_str = Alcotest.check Alcotest.string
+
+let diag_of src =
+  let program = Resolve.program_of_string ~file:"t.rs" src in
+  let report = Solver.Obligations.solve_program program in
+  let r = List.hd (Solver.Obligations.errors report) in
+  let tree = Argus.Extract.of_report r in
+  (program, tree, Rustc_diag.Diagnostic.of_tree program r.goal tree)
+
+let diag_of_entry id =
+  let entry = Option.get (Corpus.Suite.find id) in
+  let program, tree = Corpus.Harness.failed_tree entry in
+  let goal = List.hd (Program.goals program) in
+  (entry, program, tree, Rustc_diag.Diagnostic.of_tree program goal tree)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+
+let test_e0277_simple () =
+  let _, _, d = diag_of "struct A; trait T {} goal A: T;" in
+  check_str "code" "E0277" d.code;
+  check_bool "headline" true (contains d.primary "the trait bound `A: T` is not satisfied")
+
+let test_e0271_projection () =
+  let _, _, d =
+    diag_of
+      "struct A; struct B; struct C; trait T { type Out; } impl T for A { type Out = B; \
+       } goal <A as T>::Out == C;"
+  in
+  check_str "code" "E0271" d.code;
+  check_bool "type mismatch text" true (contains d.primary "type mismatch resolving")
+
+let test_e0275_overflow () =
+  let _, _, d = diag_of Corpus.Motivating.ast_overflow in
+  check_str "code" "E0275" d.code;
+  check_bool "overflow text" true (contains d.primary "overflow evaluating the requirement")
+
+let test_reports_deepest_on_linear_chain () =
+  (* W<V<A>>: T -> V<A>: U -> A: S; the deepest (A: S) is reported *)
+  let _, _, d =
+    diag_of
+      {|
+        struct A; struct W<X>; struct V<X>;
+        trait T {} trait U {} trait S {}
+        impl<X> T for W<X> where X: U {}
+        impl<X> U for V<X> where X: S {}
+        goal W<V<A>>: T;
+      |}
+  in
+  check_bool "deepest reported" true (contains d.primary "`A: S`");
+  check_int "two chain notes" 2 (List.length d.notes)
+
+let test_stops_at_branch_point () =
+  (* the Bevy §2.3 behaviour: the diagnostic never descends past the
+     IntoSystem branch, so SystemParam is absent *)
+  let _, _, _, d = diag_of_entry "bevy-errant-param" in
+  let text = Rustc_diag.Diagnostic.to_string d in
+  check_bool "mentions IntoSystem" true (contains text "IntoSystem");
+  check_bool "does NOT mention SystemParam" false (contains text "SystemParam")
+
+let test_on_unimplemented_header () =
+  let _, _, _, d = diag_of_entry "bevy-errant-param" in
+  check_bool "custom message used" true
+    (contains d.primary "does not describe a valid system configuration")
+
+let test_elision_on_long_chain () =
+  let _, _, _, d = diag_of_entry "diesel-missing-join" in
+  check_bool "hides requirements" true (d.hidden > 0);
+  let text = Rustc_diag.Diagnostic.to_string d in
+  check_bool "elision note rendered" true (contains text "redundant requirements hidden");
+  (* the hidden count matches the chain arithmetic: total - 4 kept *)
+  check_int "hidden = chain - kept" d.hidden (d.hidden + 4 + 1 - 4 - 1)
+
+let test_no_elision_on_short_chain () =
+  let _, _, d =
+    diag_of
+      "struct A; struct W<X>; trait T {} trait U {} impl<X> T for W<X> where X: U {} \
+       goal W<A>: T;"
+  in
+  check_int "nothing hidden" 0 d.hidden
+
+let test_e0283_ambiguity () =
+  let _, _, d =
+    diag_of "struct A; struct B; trait T {} impl T for A {} impl T for B {} goal _: T;"
+  in
+  check_str "code" "E0283" d.code;
+  check_bool "annotation text" true (contains d.primary "type annotations needed")
+
+let test_span_and_origin () =
+  let _, _, d = diag_of {|struct A; trait T {} goal A: T from "the call to f()";|} in
+  check_str "origin" "the call to f()" d.origin;
+  check_bool "span present" true (not (Span.is_dummy d.span));
+  let text = Rustc_diag.Diagnostic.to_string d in
+  check_bool "arrow line" true (contains text "--> t.rs")
+
+(* ------------------------------------------------------------------ *)
+(* distance metric (Fig. 12a) *)
+
+let test_distance_zero_when_reported_is_root_cause () =
+  let entry = Option.get (Corpus.Suite.find "diesel-missing-join") in
+  let _, _, tree, d =
+    let program, tree = Corpus.Harness.failed_tree entry in
+    let goal = List.hd (Program.goals program) in
+    (entry, program, tree, Rustc_diag.Diagnostic.of_tree program goal tree)
+  in
+  let rc = Corpus.Harness.root_cause_pred entry in
+  check_bool "distance 0" true
+    (Rustc_diag.Diagnostic.distance_to_root_cause tree d ~root_cause:rc = Some 0)
+
+let test_distance_positive_at_branch () =
+  let entry, _, tree, d = diag_of_entry "bevy-errant-param" in
+  let rc = Corpus.Harness.root_cause_pred entry in
+  match Rustc_diag.Diagnostic.distance_to_root_cause tree d ~root_cause:rc with
+  | Some dist -> check_bool "needs manual tracing" true (dist >= 2)
+  | None -> Alcotest.fail "root cause should be in the tree"
+
+let test_distance_none_for_absent_pred () =
+  let _, _, tree, d = diag_of_entry "bevy-errant-param" in
+  let absent =
+    Predicate.trait_ (Ty.ctor (Path.local [ "Nope" ]) []) (Ty.trait_ref (Path.local [ "Nada" ]))
+  in
+  check_bool "none" true
+    (Rustc_diag.Diagnostic.distance_to_root_cause tree d ~root_cause:absent = None)
+
+(* across the whole suite: the compiler's median distance must be worse
+   than inertia's (the paper's Fig. 12a relationship) *)
+let test_suite_distances_worse_than_inertia () =
+  let distances =
+    List.filter_map
+      (fun (e : Corpus.Harness.entry) ->
+        let program, tree = Corpus.Harness.failed_tree e in
+        let goal = List.hd (Program.goals program) in
+        let d = Rustc_diag.Diagnostic.of_tree program goal tree in
+        Rustc_diag.Diagnostic.distance_to_root_cause tree d
+          ~root_cause:(Corpus.Harness.root_cause_pred e))
+      Corpus.Suite.entries
+  in
+  check_int "all 17 have distances" 17 (List.length distances);
+  let rustc_median =
+    Stats.Descriptive.median (List.map float_of_int distances)
+  in
+  (* inertia's median rank is 0 (every root cause at the top); rustc's
+     median distance must be strictly greater *)
+  check_bool "rustc median > 0" true (rustc_median > 0.0)
+
+let () =
+  Alcotest.run "rustc_diag"
+    [
+      ( "codes",
+        [
+          Alcotest.test_case "E0277" `Quick test_e0277_simple;
+          Alcotest.test_case "E0271" `Quick test_e0271_projection;
+          Alcotest.test_case "E0275" `Quick test_e0275_overflow;
+          Alcotest.test_case "E0283" `Quick test_e0283_ambiguity;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "deepest on linear chain" `Quick
+            test_reports_deepest_on_linear_chain;
+          Alcotest.test_case "stops at branch point" `Quick test_stops_at_branch_point;
+          Alcotest.test_case "on_unimplemented" `Quick test_on_unimplemented_header;
+          Alcotest.test_case "elision on long chain" `Quick test_elision_on_long_chain;
+          Alcotest.test_case "no elision when short" `Quick test_no_elision_on_short_chain;
+          Alcotest.test_case "span and origin" `Quick test_span_and_origin;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "zero at root cause" `Quick
+            test_distance_zero_when_reported_is_root_cause;
+          Alcotest.test_case "positive at branch" `Quick test_distance_positive_at_branch;
+          Alcotest.test_case "none when absent" `Quick test_distance_none_for_absent_pred;
+          Alcotest.test_case "suite-wide vs inertia" `Quick
+            test_suite_distances_worse_than_inertia;
+        ] );
+    ]

@@ -1,0 +1,305 @@
+(** Tests for the statistics substrate: special functions against known
+    values, hypothesis tests against reference results (including the
+    paper's own reported statistics), confidence intervals, descriptive
+    statistics, and the deterministic RNG. *)
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let close ?(eps = 1e-6) name expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.8f, got %.8f" name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* special functions *)
+
+let test_log_gamma () =
+  (* Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π *)
+  close "lgamma 1" 0.0 (Stats.Special.log_gamma 1.0);
+  close "lgamma 2" 0.0 (Stats.Special.log_gamma 2.0);
+  close "lgamma 5" (Float.log 24.0) (Stats.Special.log_gamma 5.0);
+  close "lgamma 0.5" (0.5 *. Float.log Float.pi) (Stats.Special.log_gamma 0.5);
+  close ~eps:1e-5 "lgamma 10.3" 13.4820368 (Stats.Special.log_gamma 10.3)
+
+let test_chi2_cdf () =
+  (* reference values from R: pchisq(x, df) *)
+  close ~eps:1e-5 "df1 x=3.841" 0.95 (Stats.Special.chi2_cdf ~df:1 3.841459);
+  close ~eps:1e-6 "df2 x=5.991" 0.9499996 (Stats.Special.chi2_cdf ~df:2 5.991465);
+  close ~eps:1e-6 "df5 x=1" 0.03743423 (Stats.Special.chi2_cdf ~df:5 1.0);
+  close "x=0" 0.0 (Stats.Special.chi2_cdf ~df:3 0.0);
+  check_bool "monotone" true
+    (Stats.Special.chi2_cdf ~df:3 2.0 < Stats.Special.chi2_cdf ~df:3 3.0)
+
+let test_normal_cdf_ppf () =
+  close ~eps:1e-4 "cdf 0" 0.5 (Stats.Special.normal_cdf 0.0);
+  close ~eps:1e-4 "cdf 1.96" 0.9750 (Stats.Special.normal_cdf 1.96);
+  close ~eps:1e-4 "cdf -1.96" 0.0250 (Stats.Special.normal_cdf (-1.96));
+  close ~eps:1e-4 "ppf 0.975" 1.959964 (Stats.Special.normal_ppf 0.975);
+  close ~eps:1e-4 "ppf 0.5" 0.0 (Stats.Special.normal_ppf 0.5);
+  close ~eps:1e-3 "ppf 0.01" (-2.326348) (Stats.Special.normal_ppf 0.01);
+  (* ppf inverts cdf *)
+  List.iter
+    (fun p -> close ~eps:1e-3 "inverse" p (Stats.Special.normal_cdf (Stats.Special.normal_ppf p)))
+    [ 0.05; 0.25; 0.5; 0.9; 0.99 ]
+
+(* ------------------------------------------------------------------ *)
+(* hypothesis tests *)
+
+let test_chi2_2x2_known () =
+  (* 42/50 vs 19/50 — the paper's own localization-rate table.  The
+     uncorrected chi-square is 22.236, which the paper rounds to its
+     reported chi(1,100) = 22.24. *)
+  let r = Stats.Tests.chi2_2x2 ~a:42 ~b:8 ~c:19 ~d:31 in
+  close ~eps:1e-2 "statistic" 22.236 r.statistic;
+  check_int "df" 1 r.df;
+  check_bool "p < 0.001" true (r.p_value < 0.001)
+
+let test_chi2_2x2_null () =
+  let r = Stats.Tests.chi2_2x2 ~a:25 ~b:25 ~c:25 ~d:25 in
+  close "no effect" 0.0 r.statistic;
+  close "p = 1" 1.0 r.p_value
+
+let test_chi2_2x2_degenerate () =
+  let r = Stats.Tests.chi2_2x2 ~a:0 ~b:0 ~c:10 ~d:10 in
+  close "empty row" 0.0 r.statistic
+
+let test_kruskal_wallis_known () =
+  (* R: kruskal.test(list(c(1,2,3,4,5), c(6,7,8,9,10)))
+     H = 6.8182, df = 1, p = 0.00902 *)
+  let r =
+    Stats.Tests.kruskal_wallis
+      [ [ 1.; 2.; 3.; 4.; 5. ]; [ 6.; 7.; 8.; 9.; 10. ] ]
+  in
+  close ~eps:1e-3 "H" 6.8182 r.statistic;
+  check_int "df" 1 r.df;
+  close ~eps:1e-4 "p" 0.00902 r.p_value
+
+let test_kruskal_wallis_with_ties () =
+  (* hand-computed: midranks [1.5;1.5;4;4] vs [4;6.5;6.5;8], raw H =
+     4.0833, tie factor 1 - 36/504, corrected H = 4.39744, p = 0.03599 *)
+  let r = Stats.Tests.kruskal_wallis [ [ 1.; 1.; 2.; 2. ]; [ 2.; 3.; 3.; 4. ] ] in
+  close ~eps:1e-3 "H with ties" 4.39744 r.statistic;
+  close ~eps:1e-4 "p" 0.03599 r.p_value
+
+let test_kruskal_wallis_identical_groups () =
+  let r = Stats.Tests.kruskal_wallis [ [ 5.; 5.; 5. ]; [ 5.; 5.; 5. ] ] in
+  check_bool "no signal" true (r.statistic <= 1e-9 || Float.is_nan r.statistic = false)
+
+(* ------------------------------------------------------------------ *)
+(* confidence intervals *)
+
+let test_wilson_known () =
+  (* the paper: 42/50 = 84%, CI = [71%, 93%] (Wilson, 95%) *)
+  let ci = Stats.Ci.wilson ~successes:42 ~trials:50 () in
+  check_bool "lo ≈ 0.71" true (Float.abs (ci.lo -. 0.71) < 0.015);
+  check_bool "hi ≈ 0.93" true (Float.abs (ci.hi -. 0.925) < 0.015);
+  (* 19/50 = 38%, CI = [25%, 53%] *)
+  let ci2 = Stats.Ci.wilson ~successes:19 ~trials:50 () in
+  check_bool "lo2 ≈ 0.25" true (Float.abs (ci2.lo -. 0.255) < 0.015);
+  check_bool "hi2 ≈ 0.52" true (Float.abs (ci2.hi -. 0.525) < 0.015)
+
+let test_wilson_edge_cases () =
+  let all = Stats.Ci.wilson ~successes:10 ~trials:10 () in
+  check_bool "hi = 1 at p=1" true (all.hi >= 0.999);
+  check_bool "lo < 1" true (all.lo < 1.0);
+  let none = Stats.Ci.wilson ~successes:0 ~trials:10 () in
+  check_bool "lo = 0 at p=0" true (none.lo <= 0.001);
+  check_bool "hi > 0" true (none.hi > 0.0)
+
+let test_bootstrap_median () =
+  let rng = Stats.Rng.create ~seed:7 in
+  let sample = List.init 101 (fun i -> float_of_int i) in
+  let ci = Stats.Ci.bootstrap_median ~rng sample in
+  check_bool "covers the median" true (ci.lo <= 50.0 && 50.0 <= ci.hi);
+  check_bool "nontrivial width" true (ci.hi -. ci.lo > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* descriptive *)
+
+let test_descriptive_basics () =
+  close "mean" 2.5 (Stats.Descriptive.mean [ 1.; 2.; 3.; 4. ]);
+  close "median even" 2.5 (Stats.Descriptive.median [ 1.; 2.; 3.; 4. ]);
+  close "median odd" 3.0 (Stats.Descriptive.median [ 5.; 1.; 3. ]);
+  close "variance" (5.0 /. 3.0) (Stats.Descriptive.variance [ 1.; 2.; 3.; 4. ]);
+  close "q0" 1.0 (Stats.Descriptive.quantile 0.0 [ 1.; 2.; 3. ]);
+  close "q1" 3.0 (Stats.Descriptive.quantile 1.0 [ 1.; 2.; 3. ]);
+  close "q interp" 1.5 (Stats.Descriptive.quantile 0.25 [ 1.; 2.; 3. ]);
+  let lo, hi = Stats.Descriptive.min_max [ 3.; 1.; 2. ] in
+  close "min" 1.0 lo;
+  close "max" 3.0 hi
+
+let test_ranks_with_ties () =
+  let r = Stats.Descriptive.ranks [ 10.; 20.; 20.; 30. ] in
+  check_bool "midranks" true (r = [ 1.0; 2.5; 2.5; 4.0 ]);
+  let r2 = Stats.Descriptive.ranks [ 5.; 5.; 5. ] in
+  check_bool "all tied" true (r2 = [ 2.0; 2.0; 2.0 ])
+
+let test_correlation () =
+  close "perfect" 1.0 (Stats.Descriptive.correlation [ 1.; 2.; 3. ] [ 2.; 4.; 6. ]);
+  close "anti" (-1.0) (Stats.Descriptive.correlation [ 1.; 2.; 3. ] [ 3.; 2.; 1. ]);
+  close "mad" 1.0 (Stats.Descriptive.mean_absolute_deviation [ 1.; 2. ] [ 2.; 3. ])
+
+(* ------------------------------------------------------------------ *)
+(* rng *)
+
+let test_rng_deterministic () =
+  let a = Stats.Rng.create ~seed:99 and b = Stats.Rng.create ~seed:99 in
+  let xs = List.init 20 (fun _ -> Stats.Rng.float a) in
+  let ys = List.init 20 (fun _ -> Stats.Rng.float b) in
+  check_bool "same stream" true (xs = ys);
+  let c = Stats.Rng.create ~seed:100 in
+  let zs = List.init 20 (fun _ -> Stats.Rng.float c) in
+  check_bool "different seed differs" false (xs = zs)
+
+let test_rng_ranges () =
+  let rng = Stats.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let f = Stats.Rng.float rng in
+    check_bool "float in [0,1)" true (f >= 0.0 && f < 1.0);
+    let i = Stats.Rng.int rng 7 in
+    check_bool "int in range" true (i >= 0 && i < 7)
+  done
+
+let test_rng_distributions_sane () =
+  let rng = Stats.Rng.create ~seed:11 in
+  let n = 20000 in
+  let normals = List.init n (fun _ -> Stats.Rng.normal rng) in
+  close ~eps:0.03 "normal mean ≈ 0" 0.0 (Stats.Descriptive.mean normals);
+  close ~eps:0.05 "normal sd ≈ 1" 1.0 (Stats.Descriptive.stddev normals);
+  let bern = List.init n (fun _ -> if Stats.Rng.bernoulli rng 0.3 then 1.0 else 0.0) in
+  close ~eps:0.02 "bernoulli rate" 0.3 (Stats.Descriptive.mean bern)
+
+let test_rng_shuffle_sample () =
+  let rng = Stats.Rng.create ~seed:5 in
+  let arr = Array.init 10 Fun.id in
+  Stats.Rng.shuffle rng arr;
+  check_bool "permutation" true
+    (List.sort compare (Array.to_list arr) = List.init 10 Fun.id);
+  let s = Stats.Rng.sample rng 4 (List.init 10 Fun.id) in
+  check_int "sample size" 4 (List.length s);
+  check_bool "distinct" true (List.sort_uniq compare s = List.sort compare s)
+
+let test_rng_split_independent () =
+  let rng = Stats.Rng.create ~seed:21 in
+  let a = Stats.Rng.split rng in
+  let b = Stats.Rng.split rng in
+  let xs = List.init 10 (fun _ -> Stats.Rng.float a) in
+  let ys = List.init 10 (fun _ -> Stats.Rng.float b) in
+  check_bool "split streams differ" false (xs = ys)
+
+(* ------------------------------------------------------------------ *)
+(* stratified permutation test (the GLMM analog) *)
+
+let test_permutation_detects_effect () =
+  let rng = Stats.Rng.create ~seed:31 in
+  (* 20 participants, treatment always succeeds, control always fails *)
+  let strata =
+    List.init 20 (fun _ -> [ (true, true); (true, true); (false, false); (false, false) ])
+  in
+  let r = Stats.Permutation.test ~iterations:2000 ~rng strata in
+  close "observed = 1" 1.0 r.observed;
+  check_bool "clearly significant" true (r.p_value < 0.01)
+
+let test_permutation_null () =
+  let rng = Stats.Rng.create ~seed:32 in
+  (* outcome independent of condition: within each participant, one
+     success per condition *)
+  let strata =
+    List.init 20 (fun _ -> [ (true, true); (true, false); (false, true); (false, false) ])
+  in
+  let r = Stats.Permutation.test ~iterations:2000 ~rng strata in
+  close "no observed effect" 0.0 r.observed;
+  check_bool "not significant" true (r.p_value > 0.5)
+
+let test_permutation_respects_strata () =
+  let rng = Stats.Rng.create ~seed:33 in
+  (* participant-skill confound: half the participants succeed at
+     everything, half at nothing.  A stratified test must see NO
+     condition effect. *)
+  let strata =
+    List.init 10 (fun i ->
+        let ok = i < 5 in
+        [ (true, ok); (true, ok); (false, ok); (false, ok) ])
+  in
+  let r = Stats.Permutation.test ~iterations:2000 ~rng strata in
+  close "confound removed" 0.0 r.observed;
+  check_bool "not significant" true (r.p_value > 0.5)
+
+(* property: quantile is monotone in q *)
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile monotone in q" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (float_range (-100.) 100.))
+    (fun xs ->
+      let q1 = Stats.Descriptive.quantile 0.25 xs in
+      let q2 = Stats.Descriptive.quantile 0.5 xs in
+      let q3 = Stats.Descriptive.quantile 0.75 xs in
+      q1 <= q2 && q2 <= q3)
+
+let prop_wilson_contains_point =
+  QCheck.Test.make ~name:"wilson CI contains the point estimate" ~count:200
+    QCheck.(pair (int_range 0 50) (int_range 1 50))
+    (fun (s, extra) ->
+      let trials = s + extra in
+      let ci = Stats.Ci.wilson ~successes:s ~trials () in
+      let p = float_of_int s /. float_of_int trials in
+      ci.lo <= p +. 1e-9 && p -. 1e-9 <= ci.hi)
+
+let prop_ranks_sum =
+  QCheck.Test.make ~name:"ranks sum to n(n+1)/2" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (float_range (-10.) 10.))
+    (fun xs ->
+      let n = List.length xs in
+      let sum = List.fold_left ( +. ) 0.0 (Stats.Descriptive.ranks xs) in
+      Float.abs (sum -. (float_of_int (n * (n + 1)) /. 2.0)) < 1e-6)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_quantile_monotone; prop_wilson_contains_point; prop_ranks_sum ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "special",
+        [
+          Alcotest.test_case "log_gamma" `Quick test_log_gamma;
+          Alcotest.test_case "chi2 cdf" `Quick test_chi2_cdf;
+          Alcotest.test_case "normal cdf/ppf" `Quick test_normal_cdf_ppf;
+        ] );
+      ( "tests",
+        [
+          Alcotest.test_case "chi2 2x2 known" `Quick test_chi2_2x2_known;
+          Alcotest.test_case "chi2 2x2 null" `Quick test_chi2_2x2_null;
+          Alcotest.test_case "chi2 degenerate" `Quick test_chi2_2x2_degenerate;
+          Alcotest.test_case "kruskal-wallis known" `Quick test_kruskal_wallis_known;
+          Alcotest.test_case "kruskal-wallis ties" `Quick test_kruskal_wallis_with_ties;
+          Alcotest.test_case "kruskal-wallis degenerate" `Quick
+            test_kruskal_wallis_identical_groups;
+        ] );
+      ( "permutation",
+        [
+          Alcotest.test_case "detects effect" `Quick test_permutation_detects_effect;
+          Alcotest.test_case "null" `Quick test_permutation_null;
+          Alcotest.test_case "stratification" `Quick test_permutation_respects_strata;
+        ] );
+      ( "ci",
+        [
+          Alcotest.test_case "wilson (paper values)" `Quick test_wilson_known;
+          Alcotest.test_case "wilson edges" `Quick test_wilson_edge_cases;
+          Alcotest.test_case "bootstrap median" `Quick test_bootstrap_median;
+        ] );
+      ( "descriptive",
+        [
+          Alcotest.test_case "basics" `Quick test_descriptive_basics;
+          Alcotest.test_case "ranks with ties" `Quick test_ranks_with_ties;
+          Alcotest.test_case "correlation" `Quick test_correlation;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "distributions" `Quick test_rng_distributions_sane;
+          Alcotest.test_case "shuffle/sample" `Quick test_rng_shuffle_sample;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,193 @@
+(** Tests for the user-study simulator: the experimental design invariants
+    (§5.1.1 Procedure), determinism, and — most importantly — that the
+    simulation reproduces the *direction and rough magnitude* of every
+    Fig. 11 effect the paper reports. *)
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* tasks *)
+
+let test_seven_tasks () =
+  let tasks = Lazy.force Study.Task.all in
+  check_int "seven tasks (§5.1.1)" 7 (List.length tasks);
+  List.iter
+    (fun (t : Study.Task.t) ->
+      check_bool (t.entry.id ^ " rc at top") true (t.inertia_rank = 0);
+      check_bool (t.entry.id ^ " has leaves") true (t.n_leaves >= 1);
+      check_bool (t.entry.id ^ " difficulty positive") true (t.difficulty > 0.0))
+    tasks
+
+let test_task_mix () =
+  let tasks = Lazy.force Study.Task.all in
+  let branchy = List.filter (fun (t : Study.Task.t) -> t.rustc_distance >= 2) tasks in
+  let linear = List.filter (fun (t : Study.Task.t) -> t.rustc_distance < 2) tasks in
+  check_bool "has branch-point tasks" true (List.length branchy >= 2);
+  check_bool "has linear tasks" true (List.length linear >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* experimental design *)
+
+let test_session_design () =
+  let d = Study.Simulate.run ~seed:1 ~n:25 () in
+  check_int "25 participants" 25 d.n_participants;
+  check_int "100 trials" 100 (List.length d.trials);
+  (* each participant: 4 tasks, 2 per condition, distinct tasks, blocked *)
+  for pid = 0 to 24 do
+    let mine = List.filter (fun (t : Study.Simulate.trial) -> t.participant = pid) d.trials in
+    check_int "four tasks each" 4 (List.length mine);
+    let argus = List.filter (fun (t : Study.Simulate.trial) -> t.condition = Study.Simulate.Argus) mine in
+    check_int "two with argus" 2 (List.length argus);
+    let ids = List.map (fun (t : Study.Simulate.trial) -> t.task_id) mine in
+    check_int "distinct tasks" 4 (List.length (List.sort_uniq compare ids));
+    (* blocked: condition changes at most once over the session *)
+    let conds = List.map (fun (t : Study.Simulate.trial) -> t.condition) mine in
+    let changes =
+      List.length
+        (List.filteri (fun i c -> i > 0 && c <> List.nth conds (i - 1)) conds)
+    in
+    check_bool "blocked conditions" true (changes <= 1)
+  done
+
+let test_determinism () =
+  let d1 = Study.Simulate.run ~seed:77 () and d2 = Study.Simulate.run ~seed:77 () in
+  check_bool "identical datasets" true (d1.trials = d2.trials);
+  let d3 = Study.Simulate.run ~seed:78 () in
+  check_bool "seed changes data" false (d1.trials = d3.trials)
+
+let test_trial_invariants () =
+  let d = Study.Simulate.run ~seed:5 () in
+  List.iter
+    (fun (t : Study.Simulate.trial) ->
+      check_bool "times capped" true (t.t_localize <= 600.0 && t.t_fix <= 600.0);
+      check_bool "times nonnegative" true (t.t_localize >= 0.0 && t.t_fix >= 0.0);
+      check_bool "fix implies localize" true ((not t.fixed) || t.localized);
+      check_bool "fix after localize" true ((not t.fixed) || t.t_fix >= t.t_localize);
+      if not t.localized then
+        check_bool "unlocalized at cap" true (t.t_localize = 600.0))
+    d.trials
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11 reproduction: directions and magnitudes *)
+
+let results () = Study.Analyze.analyze (Study.Simulate.run ~seed:42 ())
+
+let test_fig11a_localization_rate () =
+  let r = results () in
+  (* paper: 84% vs 38%, significant at p < 0.001 *)
+  check_bool "argus higher" true (r.argus.loc_rate.value > r.control.loc_rate.value);
+  check_bool "argus in [0.7, 0.95]" true
+    (r.argus.loc_rate.value >= 0.7 && r.argus.loc_rate.value <= 0.95);
+  check_bool "control in [0.25, 0.55]" true
+    (r.control.loc_rate.value >= 0.25 && r.control.loc_rate.value <= 0.55);
+  check_bool "at least 1.8x" true
+    (r.argus.loc_rate.value /. r.control.loc_rate.value >= 1.8);
+  check_bool "significant" true (r.loc_rate_test.p_value < 0.001)
+
+let test_fig11b_localization_time () =
+  let r = results () in
+  (* paper: 3m03s vs 9m58s — at least 2.5x faster *)
+  check_bool "argus faster" true (r.argus.loc_time.median < r.control.loc_time.median);
+  check_bool "argus under 5m" true (r.argus.loc_time.median < 300.0);
+  check_bool "control near cap" true (r.control.loc_time.median > 480.0);
+  check_bool "speedup ≥ 2.5x" true
+    (r.control.loc_time.median /. r.argus.loc_time.median >= 2.5);
+  check_bool "significant" true (r.loc_time_test.p_value < 0.001)
+
+let test_fig11c_fix_rate () =
+  let r = results () in
+  (* paper: 50% vs 32% *)
+  check_bool "argus higher" true (r.argus.fix_rate.value > r.control.fix_rate.value);
+  check_bool "argus around half" true
+    (r.argus.fix_rate.value >= 0.35 && r.argus.fix_rate.value <= 0.65);
+  check_bool "control within paper CI [0.20, 0.47]" true
+    (r.control.fix_rate.value >= 0.10 && r.control.fix_rate.value <= 0.47);
+  check_bool "fix < localize in both" true
+    (r.argus.fix_rate.value <= r.argus.loc_rate.value
+    && r.control.fix_rate.value <= r.control.loc_rate.value)
+
+let test_fig11d_fix_time () =
+  let r = results () in
+  (* paper: 8m07s vs 10m00s *)
+  check_bool "argus faster or equal" true
+    (r.argus.fix_time.median <= r.control.fix_time.median);
+  check_bool "control at cap" true (r.control.fix_time.median >= 590.0);
+  check_bool "significant" true (r.fix_time_test.p_value < 0.05)
+
+let test_cis_and_report () =
+  let r = results () in
+  check_bool "rate CI ordered" true (r.argus.loc_rate.ci.lo <= r.argus.loc_rate.ci.hi);
+  check_bool "rate CI brackets" true
+    (r.argus.loc_rate.ci.lo <= r.argus.loc_rate.value
+    && r.argus.loc_rate.value <= r.argus.loc_rate.ci.hi);
+  check_bool "time CI brackets" true
+    (r.argus.loc_time.ci.lo <= r.argus.loc_time.median
+    && r.argus.loc_time.median <= r.argus.loc_time.ci.hi);
+  (* the rendered report mentions all four panels *)
+  let text = Study.Analyze.to_string r in
+  List.iter
+    (fun panel ->
+      let rec contains i =
+        i + String.length panel <= String.length text
+        && (String.sub text i (String.length panel) = panel || contains (i + 1))
+      in
+      check_bool ("mentions " ^ panel) true (contains 0))
+    [ "Fig 11a"; "Fig 11b"; "Fig 11c"; "Fig 11d"; "chi"; "Kruskal-Wallis" ]
+
+let test_effect_stable_across_seeds () =
+  (* the direction of every effect must hold for many seeds, not one *)
+  for seed = 1 to 10 do
+    let r = Study.Analyze.analyze (Study.Simulate.run ~seed ()) in
+    check_bool
+      (Printf.sprintf "seed %d: localization direction" seed)
+      true
+      (r.argus.loc_rate.value > r.control.loc_rate.value);
+    check_bool
+      (Printf.sprintf "seed %d: time direction" seed)
+      true
+      (r.argus.loc_time.median < r.control.loc_time.median)
+  done
+
+let test_participant_skill_affects_speed () =
+  let params = Study.Participant.default_params in
+  let rng = Stats.Rng.create ~seed:9 in
+  let task = List.hd (Lazy.force Study.Task.all) in
+  (* average over many trials: higher skill must localize faster *)
+  let avg_time skill =
+    let times = ref [] in
+    for i = 0 to 400 do
+      let p = Study.Participant.fresh ~params ~rng i in
+      let p = { p with Study.Participant.skill } in
+      let o = Study.Participant.localize_with_argus p ~params task in
+      times := o.elapsed :: !times
+    done;
+    Stats.Descriptive.mean !times
+  in
+  check_bool "skill speeds up localization" true (avg_time 1.6 < avg_time 0.6)
+
+let () =
+  Alcotest.run "study"
+    [
+      ( "tasks",
+        [
+          Alcotest.test_case "seven tasks" `Quick test_seven_tasks;
+          Alcotest.test_case "task mix" `Quick test_task_mix;
+        ] );
+      ( "design",
+        [
+          Alcotest.test_case "session design" `Quick test_session_design;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "trial invariants" `Quick test_trial_invariants;
+        ] );
+      ( "fig11",
+        [
+          Alcotest.test_case "11a localization rate" `Quick test_fig11a_localization_rate;
+          Alcotest.test_case "11b localization time" `Quick test_fig11b_localization_time;
+          Alcotest.test_case "11c fix rate" `Quick test_fig11c_fix_rate;
+          Alcotest.test_case "11d fix time" `Quick test_fig11d_fix_time;
+          Alcotest.test_case "CIs and report" `Quick test_cis_and_report;
+          Alcotest.test_case "stable across seeds" `Slow test_effect_stable_across_seeds;
+          Alcotest.test_case "skill model" `Quick test_participant_skill_affects_speed;
+        ] );
+    ]

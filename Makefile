@@ -1,0 +1,18 @@
+.PHONY: build test bench bench-json clean
+
+build:
+	dune build @all
+
+test:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Only the machine-readable section: writes BENCH_pipeline.json at the
+# repository root (one entry per corpus program).
+bench-json:
+	dune exec bench/main.exe -- --json-only
+
+clean:
+	dune clean

@@ -285,17 +285,84 @@ let ablation_inertia_weight_sensitivity () =
     rankers
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_pipeline.json: the machine-readable end-to-end numbers *)
+
+let bench_runs = 21
+
+(** One benchmark entry per corpus program, across every suite: median
+    end-to-end solve time, inference-tree size, and the headline solver
+    counters from a telemetry-enabled run. *)
+let bench_pipeline_json () =
+  section "Machine-readable pipeline benchmark (BENCH_pipeline.json)";
+  let suites =
+    [
+      ("entries", Corpus.Suite.entries);
+      ("extended", Corpus.Suite.extended);
+      ("extras", Corpus.Suite.extras);
+      ("extended-ok", Corpus.Suite.extended_ok);
+    ]
+  in
+  let entry_json suite (e : Corpus.Harness.entry) =
+    let program = Corpus.Harness.load e in
+    let ns = time_median ~runs:bench_runs (fun () -> Solver.Obligations.solve_program program) in
+    (* a separate counted run, so the timed runs above stay untelemetered *)
+    Telemetry.reset ();
+    Telemetry.enable ();
+    let report = Solver.Obligations.solve_program program in
+    Telemetry.disable ();
+    let tree_nodes =
+      List.fold_left
+        (fun acc (r : Solver.Obligations.goal_report) -> acc + Solver.Trace.size r.final)
+        0 report.reports
+    in
+    Printf.printf "  %-28s %10.2f us/run %7d tree nodes\n" e.id (ns /. 1e3) tree_nodes;
+    Argus_json.Json.Obj
+      [
+        ("name", Argus_json.Json.String e.id);
+        ("suite", Argus_json.Json.String suite);
+        ("library", Argus_json.Json.String e.library);
+        ("ns_per_run", Argus_json.Json.Float ns);
+        ("tree_nodes", Argus_json.Json.Int tree_nodes);
+        ("solver_goals", Argus_json.Json.Int (Telemetry.counter_value "solver.goals"));
+        ("unify_attempts", Argus_json.Json.Int (Telemetry.counter_value "unify.attempts"));
+      ]
+  in
+  let entries =
+    List.concat_map (fun (suite, es) -> List.map (entry_json suite) es) suites
+  in
+  let doc =
+    Argus_json.Json.Obj
+      [
+        ("schema", Argus_json.Json.String "argus.bench.pipeline/v1");
+        ("runs", Argus_json.Json.Int bench_runs);
+        ("entries", Argus_json.Json.List entries);
+      ]
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Argus_json.Json.to_string_pretty doc);
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_pipeline.json (%d entries)\n" (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  print_endline "Argus-ML benchmark harness — regenerating every paper table/figure";
-  fig_motivating ();
-  fig_bevy_views ();
-  fig11 ();
-  fig12a ();
-  fig12b ();
-  ablation_dnf_minimization ();
-  ablation_solver_cost ();
-  ablation_depth_limit ();
-  ablation_ranking_cost ();
-  ablation_inertia_weight_sensitivity ();
-  print_endline "\ndone."
+  let json_only = Array.exists (( = ) "--json-only") Sys.argv in
+  if json_only then bench_pipeline_json ()
+  else begin
+    print_endline "Argus-ML benchmark harness — regenerating every paper table/figure";
+    fig_motivating ();
+    fig_bevy_views ();
+    fig11 ();
+    fig12a ();
+    fig12b ();
+    ablation_dnf_minimization ();
+    ablation_solver_cost ();
+    ablation_depth_limit ();
+    ablation_ranking_cost ();
+    ablation_inertia_weight_sensitivity ();
+    bench_pipeline_json ();
+    print_endline "\ndone."
+  end

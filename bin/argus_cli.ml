@@ -35,11 +35,58 @@ let load_program path =
            (Trait_lang.Resolve.error_message e))
   | Sys_error m -> Error m
 
+(* Load failures (parse / name-resolution / IO) exit with 2, leaving 1
+   for "the file loaded but has trait or type errors" — so scripts can
+   tell a broken input apart from a failing one. *)
 let or_die = function
   | Ok v -> v
   | Error m ->
       prerr_endline ("error: " ^ m);
-      exit 1
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: --profile / --trace-out, accepted by every subcommand *)
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Collect telemetry during the run (per-phase span timings, solver \
+           counters) and print the report table to standard error on exit.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's telemetry as Chrome trace-event JSON to $(docv), \
+           loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Implies \
+           telemetry collection.")
+
+let telemetry_setup profile trace_out =
+  if profile || trace_out <> None then begin
+    Telemetry.enable ();
+    (* at_exit, because subcommands terminate through [exit n] *)
+    at_exit (fun () ->
+        let sn = Telemetry.snapshot () in
+        (match trace_out with
+        | None -> ()
+        | Some path -> (
+            try
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc (Argus_json.Telemetry_export.chrome_trace_string sn);
+                  output_char oc '\n');
+              Printf.eprintf "telemetry: wrote Chrome trace to %s\n%!" path
+            with Sys_error m -> Printf.eprintf "telemetry: cannot write trace: %s\n%!" m));
+        if profile then prerr_string (Telemetry.report_to_string sn))
+  end
+
+let telemetry_term = Term.(const telemetry_setup $ profile_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments *)
@@ -76,7 +123,7 @@ let solve_file path =
 (* check *)
 
 let check_cmd =
-  let run file no_coherence =
+  let run () file no_coherence =
     let program, report = solve_file file in
     let issues = ref 0 in
     (* declaration-level checks first: overlap, orphan rule, impl WF *)
@@ -126,7 +173,13 @@ let check_cmd =
         let diag = Rustc_diag.Diagnostic.of_tree program goal tree in
         print_newline ();
         print_string (Rustc_diag.Diagnostic.to_string diag);
-        print_newline ()
+        print_newline ();
+        (* under --profile, also exercise the Argus pipeline (DNF
+           ranking + rendering) so the report covers those phases *)
+        if Telemetry.enabled () then begin
+          ignore (Argus.Inertia.rank tree);
+          ignore (Argus.Render.tree_to_string tree)
+        end
       end
     in
     List.iter print_goal_report report.reports;
@@ -164,16 +217,21 @@ let check_cmd =
   let no_coherence =
     Arg.(value & flag & info [ "no-coherence" ] ~doc:"Skip overlap/orphan/WF checks.")
   in
+  let exits =
+    Cmd.Exit.info 1 ~doc:"on trait-solving or type-checking failures."
+    :: Cmd.Exit.info 2 ~doc:"on parse, name-resolution, or I/O errors in $(i,FILE)."
+    :: Cmd.Exit.defaults
+  in
   Cmd.v
-    (Cmd.info "check"
+    (Cmd.info "check" ~exits
        ~doc:"Type-check a file: coherence, orphan rule, impl WF, and all goals")
-    Term.(const run $ file_arg $ no_coherence)
+    Term.(const run $ telemetry_term $ file_arg $ no_coherence)
 
 (* ------------------------------------------------------------------ *)
 (* views *)
 
 let view_cmd name direction =
-  let run file show_all ranker =
+  let run () file show_all ranker =
     let _, report = solve_file file in
     List.iter
       (fun (r : Solver.Obligations.goal_report) ->
@@ -188,7 +246,7 @@ let view_cmd name direction =
   in
   Cmd.v
     (Cmd.info name ~doc:(Printf.sprintf "Print the %s view of each failing goal" name))
-    Term.(const run $ file_arg $ show_all_arg $ ranker_arg)
+    Term.(const run $ telemetry_term $ file_arg $ show_all_arg $ ranker_arg)
 
 let bottom_up_cmd = view_cmd "bottom-up" Argus.View_state.Bottom_up
 let top_down_cmd = view_cmd "top-down" Argus.View_state.Top_down
@@ -197,7 +255,7 @@ let top_down_cmd = view_cmd "top-down" Argus.View_state.Top_down
 (* diag *)
 
 let diag_cmd =
-  let run file =
+  let run () file =
     let program, report = solve_file file in
     List.iter
       (fun (r : Solver.Obligations.goal_report) ->
@@ -208,13 +266,13 @@ let diag_cmd =
       report.reports
   in
   Cmd.v (Cmd.info "diag" ~doc:"Print rustc-style diagnostics (the baseline)")
-    Term.(const run $ file_arg)
+    Term.(const run $ telemetry_term $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inertia *)
 
 let inertia_cmd =
-  let run file =
+  let run () file =
     let _, report = solve_file file in
     List.iter
       (fun (r : Solver.Obligations.goal_report) ->
@@ -244,24 +302,24 @@ let inertia_cmd =
       report.reports
   in
   Cmd.v (Cmd.info "inertia" ~doc:"Print MCSes and the inertia ranking")
-    Term.(const run $ file_arg)
+    Term.(const run $ telemetry_term $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* json *)
 
 let json_cmd =
-  let run file =
+  let run () file =
     let _, report = solve_file file in
     print_endline (Argus_json.Json.to_string_pretty (Argus_json.Encode.report report))
   in
   Cmd.v (Cmd.info "json" ~doc:"Serialize the solving report as JSON")
-    Term.(const run $ file_arg)
+    Term.(const run $ telemetry_term $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* html *)
 
 let html_cmd =
-  let run file out =
+  let run () file out =
     let program, report = solve_file file in
     match
       List.find_opt
@@ -289,13 +347,13 @@ let html_cmd =
   Cmd.v
     (Cmd.info "html"
        ~doc:"Render the first failing goal as a standalone HTML page (textbook embedding)")
-    Term.(const run $ file_arg $ out_arg)
+    Term.(const run $ telemetry_term $ file_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot *)
 
 let dot_cmd =
-  let run file failures_only =
+  let run () file failures_only =
     let _, report = solve_file file in
     List.iter
       (fun (r : Solver.Obligations.goal_report) ->
@@ -311,7 +369,7 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Render failing goals as GraphViz digraphs (Fig. 4c style)")
-    Term.(const run $ file_arg $ failures_only)
+    Term.(const run $ telemetry_term $ file_arg $ failures_only)
 
 (* ------------------------------------------------------------------ *)
 (* corpus *)
@@ -325,7 +383,7 @@ let corpus_cmd =
       (Corpus.Suite.entries @ Corpus.Suite.extended @ Corpus.Suite.extras
              @ Corpus.Suite.extended_ok)
   in
-  let run id_opt =
+  let run () id_opt =
     match id_opt with
     | None -> list_all ()
     | Some id -> (
@@ -358,26 +416,26 @@ let corpus_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"corpus entry id")
   in
   Cmd.v (Cmd.info "corpus" ~doc:"List or run the bundled evaluation programs")
-    Term.(const run $ id_arg)
+    Term.(const run $ telemetry_term $ id_arg)
 
 (* ------------------------------------------------------------------ *)
 (* study *)
 
 let study_cmd =
-  let run seed n =
+  let run () seed n =
     let d = Study.Simulate.run ~seed ~n () in
     print_endline (Study.Analyze.to_string (Study.Analyze.analyze d))
   in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed") in
   let n_arg = Arg.(value & opt int 25 & info [ "participants" ] ~doc:"number of participants") in
   Cmd.v (Cmd.info "study" ~doc:"Run the simulated user study (Fig. 11)")
-    Term.(const run $ seed_arg $ n_arg)
+    Term.(const run $ telemetry_term $ seed_arg $ n_arg)
 
 (* ------------------------------------------------------------------ *)
 (* interactive *)
 
 let interactive_cmd =
-  let run file =
+  let run () file =
     let program, report = solve_file file in
     match
       List.find_opt
@@ -520,13 +578,26 @@ let interactive_cmd =
   in
   Cmd.v
     (Cmd.info "interactive" ~doc:"Interactively explore the inference tree of a failing goal")
-    Term.(const run $ file_arg)
+    Term.(const run $ telemetry_term $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 
+let version = "1.1.0"
+
+(* With no subcommand: honour -V (short for the auto-generated
+   --version), otherwise show the help page. *)
+let default_term =
+  let v_flag =
+    Arg.(value & flag & info [ "V" ] ~doc:"Print version information (same as --version).")
+  in
+  Term.(
+    ret
+      (const (fun v -> if v then `Ok (print_endline version) else `Help (`Pager, None))
+      $ v_flag))
+
 let main =
-  Cmd.group
-    (Cmd.info "argus" ~version:"1.0.0"
+  Cmd.group ~default:default_term
+    (Cmd.info "argus" ~version
        ~doc:"An interactive debugger for trait errors (PLDI 2025 reproduction)")
     [
       check_cmd;

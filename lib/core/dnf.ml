@@ -39,9 +39,16 @@ type config = { minimize_eagerly : bool }
 
 let default_config = { minimize_eagerly = true }
 
+let sp_normalize = Telemetry.span "dnf.normalize"
+let c_conjuncts = Telemetry.counter "dnf.conjuncts.max"
+
 (** Normalize a formula into DNF.  With [minimize_eagerly] off (the
-    ablation bench), absorption runs only once at the end. *)
+    ablation bench), absorption runs only once at the end.
+
+    This is the exponential step Fig. 12b measures; the [dnf.normalize]
+    span is its wall-clock cost per call. *)
 let of_formula ?(cfg = default_config) (f : Formula.t) : t =
+  let tok = Telemetry.begin_ sp_normalize in
   let fin d = if cfg.minimize_eagerly then minimize d else d in
   let rec go : Formula.t -> t = function
     | Formula.True -> [ [] ]
@@ -54,7 +61,10 @@ let of_formula ?(cfg = default_config) (f : Formula.t) : t =
           else List.concat_map (fun ca -> List.map (conj_union ca) d) acc)
           [ [] ] fs
   in
-  minimize (go f)
+  let d = minimize (go f) in
+  Telemetry.record_max c_conjuncts (List.length d);
+  Telemetry.end_ sp_normalize tok;
+  d
 
 (** Evaluate a DNF under an assignment (for the equivalence property
     tests against {!Formula.eval}). *)

@@ -18,6 +18,10 @@
 
 open Trait_lang
 
+let sp_extract = Telemetry.span "extract"
+let c_pruned = Telemetry.counter "extract.speculative_pruned"
+let c_deduped = Telemetry.counter "extract.snapshots_deduped"
+
 (** One-sided matching: does [general] become [specific] under some
     assignment of [general]'s inference variables?  (The implication
     heuristic: [specific] implies [general] as an obligation snapshot.) *)
@@ -86,7 +90,10 @@ let dedup_attempts (attempts : Solver.Trace.goal_node list) : Solver.Trace.goal_
             (fun (later : Solver.Trace.goal_node) ->
               generalizes ~general:a.pred ~specific:later.pred)
             rest
-        then keep rest
+        then begin
+          Telemetry.incr c_deduped;
+          keep rest
+        end
         else a :: keep rest
   in
   keep attempts
@@ -116,11 +123,16 @@ let prune_speculative (goals : Solver.Trace.goal_node list) : Solver.Trace.goal_
   else
     List.filter
       (fun (g : Solver.Trace.goal_node) ->
-        Solver.Res.is_yes g.result
-        || not (Solver.Trace.has_flag Solver.Trace.Speculative g))
+        let keep =
+          Solver.Res.is_yes g.result
+          || not (Solver.Trace.has_flag Solver.Trace.Speculative g)
+        in
+        if not keep then Telemetry.incr c_pruned;
+        keep)
       goals
 
 let of_trace (trace : Solver.Trace.goal_node) : Proof_tree.t =
+  let tok = Telemetry.begin_ sp_extract in
   let b = Proof_tree.builder () in
   let rec add_goal parent (g : Solver.Trace.goal_node) =
     Proof_tree.add_node b ~parent (Proof_tree.Goal (goal_info_of g)) (fun id ->
@@ -132,7 +144,9 @@ let of_trace (trace : Solver.Trace.goal_node) : Proof_tree.t =
       (fun id -> List.map (add_goal (Some id)) (prune_speculative c.subgoals))
   in
   let root = add_goal None trace in
-  Proof_tree.build b ~root
+  let tree = Proof_tree.build b ~root in
+  Telemetry.end_ sp_extract tok;
+  tree
 
 (** Extract the final idealized tree for a goal report, after snapshot
     dedup.  The last surviving attempt is the authoritative tree. *)

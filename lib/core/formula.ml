@@ -53,9 +53,12 @@ let num_vars it = it.next
 
 (* ------------------------------------------------------------------ *)
 
+let sp_of_tree = Telemetry.span "formula.of_tree"
+
 (** Build the formula for a failed proof tree.  The formula is satisfied
     exactly when the root goal would become provable. *)
 let of_tree (tree : Proof_tree.t) : t * interner =
+  let tok = Telemetry.begin_ sp_of_tree in
   let it = interner () in
   let rec goal (n : Proof_tree.node) : t =
     match n.kind with
@@ -90,6 +93,7 @@ let of_tree (tree : Proof_tree.t) : t * interner =
         end
   in
   let f = goal (Proof_tree.root tree) in
+  Telemetry.end_ sp_of_tree tok;
   (f, it)
 
 (** Evaluate under an assignment (used by the qcheck equivalence tests

@@ -116,9 +116,14 @@ type ranking = {
           then its own weight — the bottom-up display order *)
 }
 
+let sp_rank = Telemetry.span "inertia.rank"
+let c_mcs = Telemetry.counter "inertia.mcs.max"
+
 let rank (tree : Proof_tree.t) : ranking =
+  let tok = Telemetry.begin_ sp_rank in
   let formula, it = Formula.of_tree tree in
   let dnf = Dnf.of_formula formula in
+  Telemetry.record_max c_mcs (Dnf.num_conjuncts dnf);
   let scored =
     List.map
       (fun conj ->
@@ -156,6 +161,7 @@ let rank (tree : Proof_tree.t) : ranking =
            | c -> c)
     |> List.map (fun (node, _, w) -> (node, w))
   in
+  Telemetry.end_ sp_rank tok;
   { sets; leaves }
 
 (** The bottom-up ordering of failing leaf nodes under inertia.  Leaves

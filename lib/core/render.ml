@@ -52,8 +52,13 @@ let node_text vs (n : Proof_tree.node) =
   | Proof_tree.Goal g -> goal_text vs n g
   | Proof_tree.Cand c -> cand_text vs n c
 
+let sp_render = Telemetry.span "render"
+let sp_view = Telemetry.span "render.view"
+let c_lines = Telemetry.counter "render.lines.max"
+
 (** Render the current view to lines. *)
 let view (vs : View_state.t) : line list =
+  let tok = Telemetry.begin_ sp_view in
   let lines = ref [] in
   let index = ref 0 in
   let emit node indent expander text =
@@ -75,7 +80,10 @@ let view (vs : View_state.t) : line list =
   List.iter (walk 0) shown;
   if folded <> [] then
     emit others_row 0 Closed (Printf.sprintf "Other failures (%d) ..." (List.length folded));
-  List.rev !lines
+  let out = List.rev !lines in
+  Telemetry.record_max c_lines (List.length out);
+  Telemetry.end_ sp_view tok;
+  out
 
 let expander_glyph = function Open -> "▼" | Closed -> "▶" | Leaf -> "·"
 
@@ -85,6 +93,7 @@ let line_to_string (l : line) =
 (** Render the whole view as one string, with the minibuffer (hover
     paths) appended when active. *)
 let to_string (vs : View_state.t) : string =
+  let tok = Telemetry.begin_ sp_render in
   let header =
     match vs.direction with
     | View_state.Bottom_up -> "── Bottom Up ──"
@@ -96,7 +105,9 @@ let to_string (vs : View_state.t) : string =
     | [] -> []
     | paths -> "── Definition Paths ──" :: paths
   in
-  String.concat "\n" ((header :: body) @ mini)
+  let s = String.concat "\n" ((header :: body) @ mini) in
+  Telemetry.end_ sp_render tok;
+  s
 
 (** Convenience: fully expanded one-shot rendering of a tree in a given
     direction (what the non-interactive CLI prints). *)

@@ -1,0 +1,108 @@
+(** Chrome trace-event export of a telemetry snapshot.
+
+    The output is the Trace Event Format's "JSON Array" flavour — an array
+    of objects with [name]/[ph]/[ts] fields — loadable directly in
+    Perfetto ([ui.perfetto.dev]) or [chrome://tracing]:
+
+    - spans become paired ["B"]/["E"] duration events on one track;
+    - counters become a single ["C"] counter event stamped at the end of
+      the trace, so the counter track shows the final tallies;
+    - a ["M"] metadata event names the process.
+
+    Timestamps are rebased to the first event and expressed in
+    microseconds, as the format requires. *)
+
+type decoded_event = { de_name : string; de_ph : string; de_ts : float }
+
+let pid = 1
+let tid = 1
+
+let base_ts (sn : Telemetry.snapshot) =
+  match sn.sn_events with [] -> 0 | e :: _ -> e.ev_ts
+
+(** Nanoseconds-from-base to trace microseconds. *)
+let us_of ~base ns = float_of_int (ns - base) /. 1e3
+
+let event_json ~base (e : Telemetry.event) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.String e.ev_name);
+      ("ph", Json.String (match e.ev_phase with Telemetry.Span_begin -> "B" | Telemetry.Span_end -> "E"));
+      ("ts", Json.Float (us_of ~base e.ev_ts));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("cat", Json.String "argus");
+    ]
+
+let counter_json ~ts (name, v) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "C");
+      ("ts", Json.Float ts);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("value", Json.Int v) ]);
+    ]
+
+let metadata_json : Json.t =
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("ts", Json.Float 0.);
+      ("pid", Json.Int pid);
+      ("args", Json.Obj [ ("name", Json.String "argus") ]);
+    ]
+
+(** The full trace: metadata, then span events, then final counter values.
+    Counters with value 0 are omitted from the counter track (they would
+    only add flat lines), but every span event is kept. *)
+let chrome_trace (sn : Telemetry.snapshot) : Json.t =
+  let base = base_ts sn in
+  let end_ts =
+    List.fold_left (fun acc (e : Telemetry.event) -> max acc (us_of ~base e.ev_ts)) 0. sn.sn_events
+  in
+  let counters =
+    List.filter_map
+      (fun (name, v) -> if v = 0 then None else Some (counter_json ~ts:end_ts (name, v)))
+      sn.sn_counters
+  in
+  Json.List ((metadata_json :: List.map (event_json ~base) sn.sn_events) @ counters)
+
+let chrome_trace_string sn = Json.to_string (chrome_trace sn)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding, for round-trip tests and external checkers *)
+
+(** Decode a Chrome trace back to (name, ph, ts) triples.  Raises
+    {!Decode.Decode_error} on anything that is not an array of objects
+    carrying the three mandatory fields. *)
+let decode_events (j : Json.t) : decoded_event list =
+  let fail path message = raise (Decode.Decode_error { Decode.path; message }) in
+  let events =
+    match j with Json.List es -> es | _ -> fail "trace" "expected a JSON array"
+  in
+  List.map
+    (fun e ->
+      let field name =
+        match Json.member name e with
+        | Some v -> v
+        | None -> fail "trace[]" (Printf.sprintf "missing field %S" name)
+      in
+      let str name =
+        match field name with
+        | Json.String s -> s
+        | _ -> fail "trace[]" (Printf.sprintf "field %S is not a string" name)
+      in
+      let ts =
+        match field "ts" with
+        | Json.Float f -> f
+        | Json.Int i -> float_of_int i
+        | _ -> fail "trace[]" "field \"ts\" is not a number"
+      in
+      { de_name = str "name"; de_ph = str "ph"; de_ts = ts })
+    events
+
+(** The span-only view of a decoded trace (drops metadata and counters). *)
+let decoded_spans evs = List.filter (fun e -> e.de_ph = "B" || e.de_ph = "E") evs

@@ -9,6 +9,13 @@ open Trait_lang
 
 type binding = Unbound | Link of int | Bound of Ty.t
 
+(* Telemetry: speculative-probing traffic.  The snapshot/rollback ratio is
+   the "candidates probed vs committed" cost profile of §4. *)
+let c_snapshots = Telemetry.counter "infer.snapshots"
+let c_rollbacks = Telemetry.counter "infer.rollbacks"
+let c_commits = Telemetry.counter "infer.commits"
+let c_fresh = Telemetry.counter "infer.fresh_vars"
+
 type undo = Set of int  (** variable [i] went from [Unbound] to something *)
 
 type t = {
@@ -43,6 +50,7 @@ let ensure_capacity t i =
   if i >= t.len then t.len <- i + 1
 
 let fresh t =
+  Telemetry.incr c_fresh;
   let i = t.len in
   ensure_capacity t i;
   i
@@ -56,11 +64,13 @@ let num_vars t = t.len
 type snapshot = int  (** length of the undo log when opened *)
 
 let snapshot t : snapshot =
+  Telemetry.incr c_snapshots;
   let mark = List.length t.undo_log in
   t.snapshots <- mark :: t.snapshots;
   mark
 
 let rollback_to t (mark : snapshot) =
+  Telemetry.incr c_rollbacks;
   let rec pop log n = if n <= mark then log else match log with
     | Set i :: rest ->
         t.table.(i) <- Unbound;
@@ -71,7 +81,9 @@ let rollback_to t (mark : snapshot) =
   t.snapshots <- List.filter (fun m -> m < mark) t.snapshots
 
 (** Commit: simply forget the snapshot; bindings stay. *)
-let commit t (mark : snapshot) = t.snapshots <- List.filter (fun m -> m < mark) t.snapshots
+let commit t (mark : snapshot) =
+  Telemetry.incr c_commits;
+  t.snapshots <- List.filter (fun m -> m < mark) t.snapshots
 
 (* --- resolution ------------------------------------------------------ *)
 

@@ -14,6 +14,10 @@
 
 open Trait_lang
 
+let sp_fixpoint = Telemetry.span "solver.fixpoint"
+let c_rounds = Telemetry.counter "obligations.rounds"
+let c_pending_hwm = Telemetry.counter "obligations.pending.hwm"
+
 type status =
   | Proved  (** final result yes *)
   | Disproved  (** final result no — a hard trait error *)
@@ -60,8 +64,11 @@ let solve_goals ?(max_rounds = 8) (st : Solve.t) (goals : Program.goal list) :
   let pending = ref (List.mapi (fun i g -> (i, g)) goals) in
   let rounds = ref 0 in
   let continue_ = ref (!pending <> []) in
+  let tok = Telemetry.begin_ sp_fixpoint in
   while !continue_ do
     incr rounds;
+    Telemetry.incr c_rounds;
+    Telemetry.record_max c_pending_hwm (List.length !pending);
     let before = bound_count st.icx in
     let still_pending = ref [] in
     List.iter
@@ -79,6 +86,7 @@ let solve_goals ?(max_rounds = 8) (st : Solve.t) (goals : Program.goal list) :
        the round limit. *)
     continue_ := !pending <> [] && after > before && !rounds < max_rounds
   done;
+  Telemetry.end_ sp_fixpoint tok;
   let reports =
     List.mapi
       (fun i (g : Program.goal) ->

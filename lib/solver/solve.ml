@@ -21,6 +21,19 @@
 
 open Trait_lang
 
+(* Telemetry handles, resolved once at module init.  Every record below is
+   a single branch while the sink is disabled; see lib/telemetry. *)
+let c_goals = Telemetry.counter "solver.goals"
+let c_cand_env = Telemetry.counter "solver.candidates.param_env"
+let c_cand_impl = Telemetry.counter "solver.candidates.impl"
+let c_cand_builtin = Telemetry.counter "solver.candidates.builtin"
+let c_overflow = Telemetry.counter "solver.overflow"
+let c_ambiguous = Telemetry.counter "solver.ambiguous_selection"
+let c_normalize = Telemetry.counter "solver.normalizations"
+let c_probe_roots = Telemetry.counter "solver.probe_roots"
+let sp_goal = Telemetry.span "solver.goal"
+let sp_root = Telemetry.span "solver.solve"
+
 type config = {
   depth_limit : int;  (** recursion limit; rustc's default is 128 *)
   enable_builtins : bool;  (** built-in [Fn]/[Sized] candidates *)
@@ -109,37 +122,48 @@ let head_known icx ty =
 (* The mutually recursive solver core. *)
 
 let rec solve_goal st ~depth prov (pred0 : Predicate.t) : Trace.goal_node =
+  Telemetry.incr c_goals;
+  let tok = Telemetry.begin_ sp_goal in
   let pred = Infer_ctx.resolve_predicate st.icx pred0 in
-  if depth > st.cfg.depth_limit then
-    leaf ~depth ~prov ~flags:[ Trace.Depth_limit; Trace.Overflow ] pred Res.No
-  else if cycles st pred then leaf ~depth ~prov ~flags:[ Trace.Overflow ] pred Res.No
-  else begin
-    st.stack <- pred :: st.stack;
-    let node =
-      match pred with
-      | Predicate.Trait tp -> solve_trait st ~depth ~prov pred tp
-      | Predicate.Projection pp -> solve_projection st ~depth ~prov pred pp
-      | Predicate.TypeOutlives (ty, _) ->
-          leaf ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
-      | Predicate.RegionOutlives _ -> leaf ~depth ~prov pred Res.Yes
-      | Predicate.WellFormed ty ->
-          leaf ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
-      | Predicate.ObjectSafe _ | Predicate.ConstEvaluatable _ ->
-          leaf ~depth ~prov pred Res.Yes
-      | Predicate.NormalizesTo (proj, var) ->
-          let n = normalize_proj st ~depth ~prov proj in
-          (match n.norm_ty with
-          | Some ty when Res.is_yes n.norm_node.result ->
-              (* capture the value into the output variable *)
-              (match Unify.unify st.icx (Ty.Infer var) ty with
-              | Ok () -> ()
-              | Error _ -> ())
-          | _ -> ());
-          { n.norm_node with provenance = prov; flags = Trace.Stateful :: n.norm_node.flags }
-    in
-    st.stack <- List.tl st.stack;
-    node
-  end
+  let node =
+    if depth > st.cfg.depth_limit then begin
+      Telemetry.incr c_overflow;
+      leaf ~depth ~prov ~flags:[ Trace.Depth_limit; Trace.Overflow ] pred Res.No
+    end
+    else if cycles st pred then begin
+      Telemetry.incr c_overflow;
+      leaf ~depth ~prov ~flags:[ Trace.Overflow ] pred Res.No
+    end
+    else begin
+      st.stack <- pred :: st.stack;
+      let node =
+        match pred with
+        | Predicate.Trait tp -> solve_trait st ~depth ~prov pred tp
+        | Predicate.Projection pp -> solve_projection st ~depth ~prov pred pp
+        | Predicate.TypeOutlives (ty, _) ->
+            leaf ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
+        | Predicate.RegionOutlives _ -> leaf ~depth ~prov pred Res.Yes
+        | Predicate.WellFormed ty ->
+            leaf ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
+        | Predicate.ObjectSafe _ | Predicate.ConstEvaluatable _ ->
+            leaf ~depth ~prov pred Res.Yes
+        | Predicate.NormalizesTo (proj, var) ->
+            let n = normalize_proj st ~depth ~prov proj in
+            (match n.norm_ty with
+            | Some ty when Res.is_yes n.norm_node.result ->
+                (* capture the value into the output variable *)
+                (match Unify.unify st.icx (Ty.Infer var) ty with
+                | Ok () -> ()
+                | Error _ -> ())
+            | _ -> ());
+            { n.norm_node with provenance = prov; flags = Trace.Stateful :: n.norm_node.flags }
+      in
+      st.stack <- List.tl st.stack;
+      node
+    end
+  in
+  Telemetry.end_ sp_goal tok;
+  node
 
 and cycles st pred =
   match pred with
@@ -174,6 +198,9 @@ and solve_trait st ~depth ~prov pred (tp : Predicate.trait_pred) : Trace.goal_no
         if st.cfg.enable_builtins then builtin_candidates st ~depth ~commit:false tp
         else []
       in
+      Telemetry.add c_cand_env (List.length env_cands);
+      Telemetry.add c_cand_impl (List.length impl_cands);
+      Telemetry.add c_cand_builtin (List.length builtin_cands);
       let candidates = env_cands @ impl_cands @ builtin_cands in
       select st ~depth ~prov pred tp candidates
 
@@ -191,7 +218,9 @@ and select st ~depth ~prov pred tp candidates : Trace.goal_node =
     match (env_yes, yes) with
     | c :: _, _ -> (Res.Yes, [], Some c)  (* param-env candidates take priority *)
     | [], [ c ] -> (Res.Yes, [], Some c)
-    | [], _ :: _ :: _ -> (Res.Maybe, [ Trace.Ambiguous_selection ], None)
+    | [], _ :: _ :: _ ->
+        Telemetry.incr c_ambiguous;
+        (Res.Maybe, [ Trace.Ambiguous_selection ], None)
     | [], [] ->
         if List.exists (fun (c : Trace.cand_node) -> Res.is_maybe c.cand_result) candidates
         then (Res.Maybe, [], None)
@@ -399,12 +428,16 @@ and solve_projection st ~depth ~prov pred (pp : Predicate.proj_pred) : Trace.goa
       Program.impls_of_trait st.program proj.proj_trait.trait
       |> List.map (fun impl -> eval_proj_impl_candidate st ~depth ~commit:false impl proj pp)
     in
+    Telemetry.add c_cand_impl (List.length impl_cands);
+    Telemetry.add c_cand_builtin (if builtin = None then 0 else 1);
     let candidates = impl_cands @ Option.to_list builtin in
     let yes = List.filter (fun (c : Trace.cand_node) -> Res.is_yes c.cand_result) candidates in
     let result, flags, to_commit =
       match yes with
       | [ c ] -> (Res.Yes, [], Some c)
-      | _ :: _ :: _ -> (Res.Maybe, [ Trace.Ambiguous_selection ], None)
+      | _ :: _ :: _ ->
+          Telemetry.incr c_ambiguous;
+          (Res.Maybe, [ Trace.Ambiguous_selection ], None)
       | [] ->
           if List.exists (fun (c : Trace.cand_node) -> Res.is_maybe c.cand_result) candidates
           then (Res.Maybe, [], None)
@@ -544,6 +577,7 @@ and deep_normalize st ~depth (ty : Ty.t) : norm_result =
     | Proj p ->
         let p = { p with self_ty = go depth p.self_ty } in
         if depth > st.cfg.depth_limit then begin
+          Telemetry.incr c_overflow;
           let fresh = Infer_ctx.fresh st.icx in
           nodes :=
             !nodes
@@ -568,15 +602,18 @@ and deep_normalize st ~depth (ty : Ty.t) : norm_result =
   { norm_ty'; norm_nodes = !nodes }
 
 and normalize_proj st ~depth ~prov (proj : Ty.projection) : proj_norm =
+  Telemetry.incr c_normalize;
   let fresh = Infer_ctx.fresh st.icx in
   let pred = Predicate.NormalizesTo (proj, fresh) in
   if not (head_known st.icx proj.self_ty) then
     { norm_ty = None; norm_node = leaf ~depth ~prov ~flags:[ Trace.Stateful ] pred Res.Maybe }
-  else if cycles st pred then
+  else if cycles st pred then begin
+    Telemetry.incr c_overflow;
     {
       norm_ty = None;
       norm_node = leaf ~depth ~prov ~flags:[ Trace.Stateful; Trace.Overflow ] pred Res.No;
     }
+  end
   else begin
     st.stack <- pred :: st.stack;
     (* Built-in Fn::Output *)
@@ -650,6 +687,7 @@ and normalize_via_impls st ~depth ~prov pred (proj : Ty.projection) : proj_norm 
       }
   | _ :: _ :: _ ->
       (* more than one possible impl: stuck until inference decides *)
+      Telemetry.incr c_ambiguous;
       {
         norm_ty = None;
         norm_node =
@@ -698,7 +736,10 @@ and normalize_via_impls st ~depth ~prov pred (proj : Ty.projection) : proj_norm 
 
 (** Solve a single predicate as a root goal. *)
 let solve st ?(origin = "this expression") ?(span = Span.dummy) pred =
-  solve_goal st ~depth:0 (Trace.Root { origin; span }) pred
+  let tok = Telemetry.begin_ sp_root in
+  let node = solve_goal st ~depth:0 (Trace.Root { origin; span }) pred in
+  Telemetry.end_ sp_root tok;
+  node
 
 (** Speculative probing (§4): method resolution asks the solver a
     sequence of *soft* predicates — "does the receiver implement
@@ -716,6 +757,7 @@ let solve_probe st ?(origin = "method resolution") ?(span = Span.dummy)
   let rec go idx acc = function
     | [] -> (List.rev acc, None)
     | pred :: rest ->
+        Telemetry.incr c_probe_roots;
         let snap = Infer_ctx.snapshot st.icx in
         let node = solve_goal st ~depth:0 (Trace.Root { origin; span }) pred in
         if Res.is_yes node.result then begin

@@ -34,6 +34,13 @@ let failure_to_string ?(cfg = Pretty.default) = function
 
 let ( let* ) = Result.bind
 
+(* Telemetry: one "attempt" per top-level unification operation (a call
+   through the public entry points below), not per structural recursion —
+   that is the number rustc's own `-Zself-profile` style counters report
+   and what the candidate-assembly cost scales with. *)
+let c_attempts = Telemetry.counter "unify.attempts"
+let c_failures = Telemetry.counter "unify.failures"
+
 (* Regions are unified coarsely: named regions must match, [Erased] and
    inference regions unify with anything (the trait solver never fails on
    regions alone; the borrow checker owns that, and the paper's model
@@ -115,10 +122,26 @@ and shallow icx (t : Ty.t) : Ty.t =
       match Infer_ctx.probe icx i with Some t' -> shallow icx t' | None -> t)
   | _ -> t
 
+(* Counting wrapper around the recursive core: shadows [unify] so every
+   caller (including [can_unify] below and the whole solver) is counted,
+   while structural recursion inside the core stays free. *)
+let unify icx a b =
+  Telemetry.incr c_attempts;
+  match unify icx a b with
+  | Ok () as ok -> ok
+  | Error _ as e ->
+      Telemetry.incr c_failures;
+      e
+
 let unify_trait_refs icx (a : Ty.trait_ref) (b : Ty.trait_ref) : unit result =
-  if not (Path.equal a.trait b.trait) then
-    Error (Head_mismatch (Ty.Dynamic a, Ty.Dynamic b))
-  else unify_args icx (Ty.Dynamic a) (Ty.Dynamic b) a.args b.args
+  Telemetry.incr c_attempts;
+  let r =
+    if not (Path.equal a.trait b.trait) then
+      Error (Head_mismatch (Ty.Dynamic a, Ty.Dynamic b))
+    else unify_args icx (Ty.Dynamic a) (Ty.Dynamic b) a.args b.args
+  in
+  (match r with Error _ -> Telemetry.incr c_failures | Ok () -> ());
+  r
 
 (** Can [a] and [b] possibly unify?  Probes under a snapshot and rolls
     back regardless of the outcome. *)

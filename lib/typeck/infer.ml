@@ -20,6 +20,10 @@
 
 open Trait_lang
 
+let sp_check_fn = Telemetry.span "typeck.check_fn"
+let c_probes = Telemetry.counter "typeck.probes"
+let c_obligations = Telemetry.counter "typeck.obligations"
+
 type type_error = { te_span : Span.t; te_message : string }
 
 (** A recorded method resolution: where it happened, the probed
@@ -70,6 +74,7 @@ let error cx span fmt =
     fmt
 
 let emit cx pred ~origin ~span =
+  Telemetry.incr c_obligations;
   cx.goals <- { Program.goal_pred = pred; goal_span = span; goal_origin = origin } :: cx.goals
 
 (** Unify, reporting a type error (rather than failing) on mismatch. *)
@@ -205,6 +210,7 @@ and infer_method cx whole recv m args span : Ty.t =
       Solver.Solve.solve_probe cx.st ~origin:(Expr.describe whole) ~span
         (List.map (fun (_, _, p) -> p) alternatives)
     in
+    Telemetry.incr c_probes;
     cx.probes <-
       { p_span = span; p_method = m; p_recv_ty = recv_ty; p_nodes = nodes; p_chosen = chosen }
       :: cx.probes;
@@ -268,6 +274,7 @@ let check_stmt cx (s : Expr.stmt) =
 (** Type-check one function body. *)
 let check_fn ?(cfg = Solver.Solve.default_config) (program : Program.t)
     (fd : Decl.fndecl) : fn_report =
+  let tok = Telemetry.begin_ sp_check_fn in
   let body = Option.value ~default:[] fd.fn_body in
   let st = Solver.Solve.create ~cfg ~env:fd.fn_generics.where_clauses program in
   let params =
@@ -282,6 +289,7 @@ let check_fn ?(cfg = Solver.Solve.default_config) (program : Program.t)
     Solver.Obligations.solve_goals st (List.rev cx.goals)
   in
   let resolve_local (n, t) = (n, Solver.Infer_ctx.resolve st.icx t) in
+  Telemetry.end_ sp_check_fn tok;
   {
     fr_fn = fd;
     fr_locals = List.rev_map resolve_local cx.locals;

@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-json clean
+.PHONY: build test bench bench-json bench-journal ci clean
 
 build:
 	dune build @all
@@ -10,8 +10,21 @@ bench:
 	dune exec bench/main.exe
 
 # Only the machine-readable section: writes BENCH_pipeline.json at the
-# repository root (one entry per corpus program).
+# repository root (one entry per corpus program), including the journal
+# overhead section.
 bench-json:
+	dune exec bench/main.exe -- --json-only
+
+# Re-measure only the search-journal overhead (disabled vs streaming to
+# /dev/null), preserving existing pipeline entries in BENCH_pipeline.json.
+bench-journal:
+	dune exec bench/main.exe -- --journal-only
+
+# What CI runs: full build, full test suite, and the bench smoke that
+# regenerates BENCH_pipeline.json.
+ci:
+	dune build @all
+	dune runtest
 	dune exec bench/main.exe -- --json-only
 
 clean:

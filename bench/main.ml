@@ -289,6 +289,68 @@ let ablation_inertia_weight_sensitivity () =
 
 let bench_runs = 21
 
+(** Journal overhead per corpus program: the disabled sink (every
+    emission point is one load + branch) vs streaming JSONL entries to
+    /dev/null.  The disabled medians must be indistinguishable from the
+    plain pipeline entries; the enabled cost is dominated by JSON
+    encoding. *)
+let bench_journal_entries () =
+  Printf.printf "  %-28s %12s %12s %8s %9s\n" "program" "disabled" "enabled" "events"
+    "overhead";
+  List.map
+    (fun (e : Corpus.Harness.entry) ->
+      let program = Corpus.Harness.load e in
+      let ns_disabled =
+        time_median ~runs:bench_runs (fun () -> Solver.Obligations.solve_program program)
+      in
+      let devnull = open_out "/dev/null" in
+      Journal.set_sink
+        (Some
+           (fun en ->
+             output_string devnull
+               (Argus_json.Json.to_string (Argus_json.Journal_codec.entry_to_json en));
+             output_char devnull '\n'));
+      let ns_enabled =
+        time_median ~runs:bench_runs (fun () -> Solver.Obligations.solve_program program)
+      in
+      Journal.set_sink None;
+      close_out devnull;
+      let events = ref 0 in
+      Journal.set_sink (Some (fun _ -> incr events));
+      ignore (Solver.Obligations.solve_program program);
+      Journal.set_sink None;
+      let overhead_pct = (ns_enabled -. ns_disabled) /. ns_disabled *. 100.0 in
+      Printf.printf "  %-28s %9.2f us %9.2f us %8d %+8.1f%%\n" e.id (ns_disabled /. 1e3)
+        (ns_enabled /. 1e3) !events overhead_pct;
+      Argus_json.Json.Obj
+        [
+          ("name", Argus_json.Json.String e.id);
+          ("ns_disabled", Argus_json.Json.Float ns_disabled);
+          ("ns_enabled", Argus_json.Json.Float ns_enabled);
+          ("events", Argus_json.Json.Int !events);
+          ("overhead_pct", Argus_json.Json.Float overhead_pct);
+        ])
+    Corpus.Suite.entries
+
+let write_pipeline_doc ~entries ~journal =
+  let doc =
+    Argus_json.Json.Obj
+      [
+        ("schema", Argus_json.Json.String "argus.bench.pipeline/v2");
+        ("runs", Argus_json.Json.Int bench_runs);
+        ("entries", Argus_json.Json.List entries);
+        ("journal", Argus_json.Json.List journal);
+      ]
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Argus_json.Json.to_string_pretty doc);
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_pipeline.json (%d entries, %d journal rows)\n"
+    (List.length entries) (List.length journal)
+
 (** One benchmark entry per corpus program, across every suite: median
     end-to-end solve time, inference-tree size, and the headline solver
     counters from a telemetry-enabled run. *)
@@ -330,27 +392,37 @@ let bench_pipeline_json () =
   let entries =
     List.concat_map (fun (suite, es) -> List.map (entry_json suite) es) suites
   in
-  let doc =
-    Argus_json.Json.Obj
-      [
-        ("schema", Argus_json.Json.String "argus.bench.pipeline/v1");
-        ("runs", Argus_json.Json.Int bench_runs);
-        ("entries", Argus_json.Json.List entries);
-      ]
+  print_endline "journal overhead (17-program suite):";
+  let journal = bench_journal_entries () in
+  write_pipeline_doc ~entries ~journal
+
+(** Re-measure only the journal section, keeping the existing pipeline
+    entries in BENCH_pipeline.json (if any) intact. *)
+let bench_journal_json () =
+  section "Journal overhead benchmark (BENCH_pipeline.json, journal section)";
+  let journal = bench_journal_entries () in
+  let entries =
+    try
+      let ic = open_in "BENCH_pipeline.json" in
+      let txt =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Argus_json.Json.member "entries" (Argus_json.Json.of_string txt) with
+      | Some (Argus_json.Json.List es) -> es
+      | _ -> []
+    with Sys_error _ | Argus_json.Json.Parse_error _ -> []
   in
-  let oc = open_out "BENCH_pipeline.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Argus_json.Json.to_string_pretty doc);
-      output_char oc '\n');
-  Printf.printf "wrote BENCH_pipeline.json (%d entries)\n" (List.length entries)
+  write_pipeline_doc ~entries ~journal
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let json_only = Array.exists (( = ) "--json-only") Sys.argv in
-  if json_only then bench_pipeline_json ()
+  let journal_only = Array.exists (( = ) "--journal-only") Sys.argv in
+  if journal_only then bench_journal_json ()
+  else if json_only then bench_pipeline_json ()
   else begin
     print_endline "Argus-ML benchmark harness — regenerating every paper table/figure";
     fig_motivating ();

@@ -45,7 +45,8 @@ let or_die = function
       exit 2
 
 (* ------------------------------------------------------------------ *)
-(* Telemetry: --profile / --trace-out, accepted by every subcommand *)
+(* Observability: --profile / --trace-out / --events-out, accepted by
+   every subcommand *)
 
 let profile_arg =
   Arg.(
@@ -65,7 +66,40 @@ let trace_out_arg =
            loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Implies \
            telemetry collection.")
 
-let telemetry_setup profile trace_out =
+let events_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream the solver's search journal to $(docv) as JSONL (schema \
+           argus.journal/v1): goal enter/exit, candidate assembly and \
+           evaluation, unification attempts, snapshot traffic, normalization, \
+           cycles, overflow, ambiguity. Inspect with $(b,argus explain). The \
+           file is opened and its header written before solving starts, so it \
+           is well-formed even if the run aborts.")
+
+let telemetry_setup profile trace_out events_out =
+  (match events_out with
+  | None -> ()
+  | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Argus_json.Journal_codec.header_line ());
+        output_char oc '\n';
+        Journal.set_sink
+          (Some
+             (fun e ->
+               output_string oc
+                 (Argus_json.Json.to_string (Argus_json.Journal_codec.entry_to_json e));
+               output_char oc '\n'));
+        (* at_exit, because subcommands terminate through [exit n] *)
+        at_exit (fun () ->
+            Journal.set_sink None;
+            try close_out oc with Sys_error _ -> ())
+      with Sys_error m ->
+        prerr_endline ("error: cannot open events file: " ^ m);
+        exit 2));
   if profile || trace_out <> None then begin
     Telemetry.enable ();
     (* at_exit, because subcommands terminate through [exit n] *)
@@ -86,7 +120,8 @@ let telemetry_setup profile trace_out =
         if profile then prerr_string (Telemetry.report_to_string sn))
   end
 
-let telemetry_term = Term.(const telemetry_setup $ profile_arg $ trace_out_arg)
+let telemetry_term =
+  Term.(const telemetry_setup $ profile_arg $ trace_out_arg $ events_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments *)
@@ -432,6 +467,183 @@ let study_cmd =
     Term.(const run $ telemetry_term $ seed_arg $ n_arg)
 
 (* ------------------------------------------------------------------ *)
+(* explain *)
+
+let explain_cmd =
+  let pp_pred = Trait_lang.Pretty.predicate in
+  let cand_line ~indent (c : Journal.rcand) =
+    let status =
+      match c.Journal.rc_failure with
+      | Some f -> (
+          Printf.sprintf "rejected: %s%s" (Journal.failure_to_string f)
+            (match Journal.rejecting_unify c with
+            | Some e -> Printf.sprintf " (unify event seq %d)" e.Journal.seq
+            | None -> ""))
+      | None -> Journal.res_to_string c.Journal.rc_result
+    in
+    Printf.printf "%s- candidate #%d %s — %s\n" indent c.Journal.rc_id
+      (Journal.source_to_string c.Journal.rc_source)
+      status
+  in
+  let print_goal (t : Journal.replay_tree) (g : Journal.rgoal) =
+    Printf.printf "goal #%d: %s\n" g.Journal.rg_id (pp_pred g.Journal.rg_pred);
+    Printf.printf "  result: %s\n" (Journal.res_to_string g.Journal.rg_result);
+    Printf.printf "  depth: %d\n" g.Journal.rg_depth;
+    Printf.printf "  provenance: %s\n" (Journal.prov_to_string g.Journal.rg_prov);
+    if g.Journal.rg_flags <> [] then
+      Printf.printf "  flags: %s\n"
+        (String.concat ", " (List.map Journal.flag_to_string g.Journal.rg_flags));
+    (* ancestry: walk rt_parent to the root, innermost first *)
+    let rec chain acc id =
+      match Hashtbl.find_opt t.Journal.rt_parent id with
+      | None -> acc
+      | Some p -> chain (p :: acc) p
+    in
+    (match chain [] g.Journal.rg_id with
+    | [] -> ()
+    | ancestors ->
+        print_endline "  within:";
+        List.iter
+          (fun id ->
+            match Hashtbl.find_opt t.Journal.rt_goals id with
+            | Some a ->
+                Printf.printf "    goal #%d %s [%s]\n" id (pp_pred a.Journal.rg_pred)
+                  (Journal.res_to_string a.Journal.rg_result)
+            | None -> (
+                match Hashtbl.find_opt t.Journal.rt_cands id with
+                | Some c ->
+                    Printf.printf "    candidate #%d %s\n" id
+                      (Journal.source_to_string c.Journal.rc_source)
+                | None -> ()))
+          ancestors);
+    match g.Journal.rg_cands with
+    | [] -> ()
+    | cands ->
+        Printf.printf "  candidates (%d):\n" (List.length cands);
+        List.iter (cand_line ~indent:"    ") cands
+  in
+  let print_cand (t : Journal.replay_tree) (c : Journal.rcand) =
+    Printf.printf "candidate #%d: %s\n" c.Journal.rc_id
+      (Journal.source_to_string c.Journal.rc_source);
+    Printf.printf "  result: %s\n" (Journal.res_to_string c.Journal.rc_result);
+    (match Hashtbl.find_opt t.Journal.rt_parent c.Journal.rc_id with
+    | Some p -> (
+        match Hashtbl.find_opt t.Journal.rt_goals p with
+        | Some g -> Printf.printf "  for goal: #%d %s\n" p (pp_pred g.Journal.rg_pred)
+        | None -> ())
+    | None -> ());
+    (match c.Journal.rc_failure with
+    | Some f ->
+        Printf.printf "  rejected: %s\n" (Journal.failure_to_string f);
+        (match Journal.rejecting_unify c with
+        | Some e -> Printf.printf "  rejecting unify event: seq %d\n" e.Journal.seq
+        | None -> ())
+    | None -> ());
+    Printf.printf "  subgoals: %d\n" (List.length c.Journal.rc_subgoals)
+  in
+  let run () file node_id failures =
+    let text =
+      try read_file file
+      with Sys_error m ->
+        prerr_endline ("error: " ^ m);
+        exit 2
+    in
+    let entries =
+      try Argus_json.Journal_codec.of_jsonl text
+      with Argus_json.Decode.Decode_error e ->
+        Printf.eprintf "error: %s: %s at %s\n" file e.message e.path;
+        exit 2
+    in
+    match Journal.replay entries with
+    | Error m ->
+        Printf.eprintf "error: inconsistent journal: %s\n" m;
+        exit 2
+    | Ok tree -> (
+        match node_id with
+        | Some id -> (
+            match
+              ( Hashtbl.find_opt tree.Journal.rt_goals id,
+                Hashtbl.find_opt tree.Journal.rt_cands id )
+            with
+            | Some g, _ -> print_goal tree g
+            | None, Some c -> print_cand tree c
+            | None, None ->
+                Printf.eprintf "error: no event node with ID %d\n" id;
+                exit 1)
+        | None ->
+            if failures then
+              List.iter
+                (fun (root : Journal.rgoal) ->
+                  match Journal.failed_leaves root with
+                  | [] -> ()
+                  | leaves ->
+                      Printf.printf "root #%d: %s [%s]\n" root.Journal.rg_id
+                        (pp_pred root.Journal.rg_pred)
+                        (Journal.res_to_string root.Journal.rg_result);
+                      List.iter
+                        (fun (g : Journal.rgoal) ->
+                          Printf.printf "  failed leaf #%d: %s\n" g.Journal.rg_id
+                            (pp_pred g.Journal.rg_pred);
+                          List.iter
+                            (fun (c : Journal.rcand) ->
+                              if c.Journal.rc_failure <> None then
+                                cand_line ~indent:"    " c)
+                            g.Journal.rg_cands)
+                        leaves)
+                tree.Journal.rt_roots
+            else begin
+              let failed =
+                List.concat_map Journal.failed_leaves tree.Journal.rt_roots
+              in
+              Printf.printf "journal: %d events, %d roots, %d goals, %d failed leaves\n"
+                (List.length entries)
+                (List.length tree.Journal.rt_roots)
+                (Hashtbl.length tree.Journal.rt_goals)
+                (List.length failed);
+              List.iter
+                (fun (root : Journal.rgoal) ->
+                  Printf.printf "  root #%d [%s] %s\n" root.Journal.rg_id
+                    (Journal.res_to_string root.Journal.rg_result)
+                    (pp_pred root.Journal.rg_pred))
+                tree.Journal.rt_roots;
+              if failed <> [] then
+                print_endline
+                  "hint: `argus explain --failures` narrates the failed leaves; \
+                   `argus explain --node ID` drills into one node"
+            end)
+  in
+  let events_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"EVENTS.jsonl" ~doc:"journal file written by --events-out")
+  in
+  let node_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node" ] ~docv:"ID"
+          ~doc:"Explain the goal or candidate with this stable event node ID.")
+  in
+  let failures_arg =
+    Arg.(
+      value & flag
+      & info [ "failures" ]
+          ~doc:"Narrate every failed leaf goal and its rejecting unification.")
+  in
+  let exits =
+    Cmd.Exit.info 1 ~doc:"when $(b,--node) $(i,ID) does not exist in the journal."
+    :: Cmd.Exit.info 2 ~doc:"on unreadable, malformed, or inconsistent journal files."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "explain" ~exits
+       ~doc:
+         "Reconstruct the solver search from a journal file and print a \
+          provenance narrative")
+    Term.(const run $ telemetry_term $ events_file_arg $ node_arg $ failures_arg)
+
+(* ------------------------------------------------------------------ *)
 (* interactive *)
 
 let interactive_cmd =
@@ -582,7 +794,7 @@ let interactive_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let version = "1.1.0"
+let version = "1.2.0"
 
 (* With no subcommand: honour -V (short for the auto-generated
    --version), otherwise show the help page. *)
@@ -610,6 +822,7 @@ let main =
       dot_cmd;
       corpus_cmd;
       study_cmd;
+      explain_cmd;
       interactive_cmd;
     ]
 

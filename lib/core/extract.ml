@@ -110,6 +110,7 @@ let goal_info_of (g : Solver.Trace.goal_node) : Proof_tree.goal_info =
     is_stateful = Solver.Trace.has_flag Solver.Trace.Stateful g;
     is_user_visible = Predicate.is_user_visible g.pred;
     depth = g.depth;
+    trace_id = g.gid;
   }
 
 (** Drop failed speculative siblings when another candidate/goal at the
@@ -140,7 +141,12 @@ let of_trace (trace : Solver.Trace.goal_node) : Proof_tree.t =
   and add_cand parent (c : Solver.Trace.cand_node) =
     Proof_tree.add_node b ~parent
       (Proof_tree.Cand
-         { source = c.source; cand_result = c.cand_result; failure = c.failure })
+         {
+           source = c.source;
+           cand_result = c.cand_result;
+           failure = c.failure;
+           cand_trace_id = c.cid;
+         })
       (fun id -> List.map (add_goal (Some id)) (prune_speculative c.subgoals))
   in
   let root = add_goal None trace in

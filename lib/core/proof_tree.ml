@@ -18,12 +18,14 @@ type goal_info = {
   is_stateful : bool;  (** a captured [NormalizesTo] node (§4) *)
   is_user_visible : bool;  (** hidden unless the predicate toggle is on *)
   depth : int;  (** goal depth in the inference tree *)
+  trace_id : int;  (** journal event ID of the originating goal; < 0 if none *)
 }
 
 type cand_info = {
   source : Solver.Trace.cand_source;
   cand_result : Solver.Res.t;
   failure : Solver.Unify.failure option;
+  cand_trace_id : int;  (** journal event ID of the candidate; < 0 if none *)
 }
 
 type kind = Goal of goal_info | Cand of cand_info

@@ -18,12 +18,19 @@ type goal_info = {
   is_stateful : bool;  (** a captured [NormalizesTo] node (§4) *)
   is_user_visible : bool;  (** hidden unless the predicate toggle is on *)
   depth : int;  (** goal depth in the inference tree *)
+  trace_id : int;
+      (** stable journal event ID of the originating [Goal_enter]/[Goal_exit]
+          pair ({!Solver.Trace.goal_node.gid}); negative when the node has no
+          originating event (synthetic trees) *)
 }
 
 type cand_info = {
   source : Solver.Trace.cand_source;
   cand_result : Solver.Res.t;
   failure : Solver.Unify.failure option;
+  cand_trace_id : int;
+      (** stable journal event ID of the originating candidate frame
+          ({!Solver.Trace.cand_node.cid}); negative when none *)
 }
 
 type kind = Goal of goal_info | Cand of cand_info

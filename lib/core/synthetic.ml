@@ -63,6 +63,7 @@ let generate (cfg : config) : Proof_tree.t =
       is_stateful = false;
       is_user_visible = true;
       depth;
+      trace_id = -1;
     }
   in
   let yes_cand parent children_of =
@@ -72,6 +73,7 @@ let generate (cfg : config) : Proof_tree.t =
            source = Solver.Trace.Cand_impl (impl_of_int (next ()));
            cand_result = Solver.Res.Yes;
            failure = None;
+           cand_trace_id = -1;
          })
       children_of
   in
@@ -82,6 +84,7 @@ let generate (cfg : config) : Proof_tree.t =
            source = Solver.Trace.Cand_impl (impl_of_int (next ()));
            cand_result = Solver.Res.No;
            failure;
+           cand_trace_id = -1;
          })
       children_of
   in

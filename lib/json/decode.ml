@@ -131,3 +131,5 @@ let predicate p j : Predicate.t =
 let ty_of_json j = ty "$" j
 let predicate_of_json j = predicate "$" j
 let path_of_json j = path_ "$" j
+let region_of_json j = region "$" j
+let projection_of_json j = projection "$" j

@@ -12,3 +12,5 @@ val ty_of_json : Json.t -> Ty.t
 
 val predicate_of_json : Json.t -> Predicate.t
 val path_of_json : Json.t -> Path.t
+val region_of_json : Json.t -> Region.t
+val projection_of_json : Json.t -> Ty.projection

@@ -126,6 +126,7 @@ let proof_tree (t : Argus.Proof_tree.t) : Json.t =
               ("overflow", Json.Bool g.is_overflow);
               ("stateful", Json.Bool g.is_stateful);
               ("depth", Json.Int g.depth);
+              ("trace_id", Json.Int g.trace_id);
               ("text", Json.String (Pretty.predicate g.pred));
             ])
     | Argus.Proof_tree.Cand c ->
@@ -135,6 +136,7 @@ let proof_tree (t : Argus.Proof_tree.t) : Json.t =
               ("type", Json.String "candidate");
               ("source", cand_source c.source);
               ("result", res c.cand_result);
+              ("trace_id", Json.Int c.cand_trace_id);
             ])
   in
   Json.Obj

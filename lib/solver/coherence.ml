@@ -58,7 +58,17 @@ let check (program : Program.t) : overlap list =
   for i = 0 to Array.length impls - 1 do
     for j = i + 1 to Array.length impls - 1 do
       match overlap_of_pair icx impls.(i) impls.(j) with
-      | Some o -> out := o :: !out
+      | Some o ->
+          if Journal.enabled () then
+            Journal.emit
+              (Journal.Overlap_detected
+                 {
+                   trait_ = o.trait_;
+                   impl_a = o.impl_a.Decl.impl_id;
+                   impl_b = o.impl_b.Decl.impl_id;
+                   witness = o.witness;
+                 });
+          out := o :: !out
       | None -> ()
     done
   done;

@@ -61,16 +61,28 @@ let num_vars t = t.len
 
 (* --- snapshots ------------------------------------------------------ *)
 
-type snapshot = int  (** length of the undo log when opened *)
+type snapshot = {
+  mark : int;  (** length of the undo log when opened *)
+  serial : int;  (** globally unique, for journal correlation *)
+}
+
+(* Serials are global (not per-context) so a journal stream interleaving
+   several inference contexts still has unambiguous snapshot IDs. *)
+let snap_serial = ref 0
 
 let snapshot t : snapshot =
   Telemetry.incr c_snapshots;
   let mark = List.length t.undo_log in
   t.snapshots <- mark :: t.snapshots;
-  mark
+  incr snap_serial;
+  let serial = !snap_serial in
+  if Journal.enabled () then
+    Journal.emit (Journal.Snapshot_open { snap = serial; node = Journal.current_node () });
+  { mark; serial }
 
-let rollback_to t (mark : snapshot) =
+let rollback_to t ({ mark; serial } : snapshot) =
   Telemetry.incr c_rollbacks;
+  if Journal.enabled () then Journal.emit (Journal.Snapshot_rollback { snap = serial });
   let rec pop log n = if n <= mark then log else match log with
     | Set i :: rest ->
         t.table.(i) <- Unbound;
@@ -81,8 +93,9 @@ let rollback_to t (mark : snapshot) =
   t.snapshots <- List.filter (fun m -> m < mark) t.snapshots
 
 (** Commit: simply forget the snapshot; bindings stay. *)
-let commit t (mark : snapshot) =
+let commit t ({ mark; serial } : snapshot) =
   Telemetry.incr c_commits;
+  if Journal.enabled () then Journal.emit (Journal.Snapshot_commit { snap = serial });
   t.snapshots <- List.filter (fun m -> m < mark) t.snapshots
 
 (* --- resolution ------------------------------------------------------ *)

@@ -17,7 +17,13 @@
       after their subtree executes (§4);
     - {b overflow}: revisiting a predicate already on the evaluation stack,
       or exceeding the recursion limit, fails with an overflow marker
-      (E0275, the §2.2 infinite recursion). *)
+      (E0275, the §2.2 infinite recursion).
+
+    Every step is journaled (see lib/journal): goals and candidates open
+    and close event frames carrying the stable IDs stored in the trace
+    nodes, so the event stream replays to exactly the tree this module
+    returns.  Candidate-commit re-runs are muted — they re-execute
+    already-journaled work and their traces are discarded. *)
 
 open Trait_lang
 
@@ -106,8 +112,8 @@ let with_icx ?(cfg = default_config) ?(env = []) program icx =
 (* ------------------------------------------------------------------ *)
 (* Helpers *)
 
-let leaf ~depth ~prov ?(flags = []) pred result : Trace.goal_node =
-  { pred; result; candidates = []; depth; provenance = prov; flags }
+let leaf ~gid ~depth ~prov ?(flags = []) pred result : Trace.goal_node =
+  { gid; pred; result; candidates = []; depth; provenance = prov; flags }
 
 let is_fn_family trait_path =
   match Path.name trait_path with "Fn" | "FnMut" | "FnOnce" -> true | _ -> false
@@ -118,6 +124,13 @@ let is_sized trait_path = Path.name trait_path = "Sized"
 let head_known icx ty =
   match Unify.shallow icx ty with Ty.Infer _ -> false | _ -> true
 
+(** Run a candidate-commit re-run with journal emission muted: the
+    re-run replays events already journaled during probing, and its
+    trace is discarded. *)
+let muted f =
+  Journal.mute ();
+  Fun.protect ~finally:Journal.unmute f
+
 (* ------------------------------------------------------------------ *)
 (* The mutually recursive solver core. *)
 
@@ -125,30 +138,35 @@ let rec solve_goal st ~depth prov (pred0 : Predicate.t) : Trace.goal_node =
   Telemetry.incr c_goals;
   let tok = Telemetry.begin_ sp_goal in
   let pred = Infer_ctx.resolve_predicate st.icx pred0 in
+  let gid = Journal.fresh_id () in
+  Jlog.goal_enter ~id:gid ~depth prov pred;
   let node =
     if depth > st.cfg.depth_limit then begin
       Telemetry.incr c_overflow;
-      leaf ~depth ~prov ~flags:[ Trace.Depth_limit; Trace.Overflow ] pred Res.No
+      Jlog.overflow ~id:gid ~depth_limited:true;
+      leaf ~gid ~depth ~prov ~flags:[ Trace.Depth_limit; Trace.Overflow ] pred Res.No
     end
     else if cycles st pred then begin
       Telemetry.incr c_overflow;
-      leaf ~depth ~prov ~flags:[ Trace.Overflow ] pred Res.No
+      Jlog.cycle ~id:gid pred;
+      Jlog.overflow ~id:gid ~depth_limited:false;
+      leaf ~gid ~depth ~prov ~flags:[ Trace.Overflow ] pred Res.No
     end
     else begin
       st.stack <- pred :: st.stack;
       let node =
         match pred with
-        | Predicate.Trait tp -> solve_trait st ~depth ~prov pred tp
-        | Predicate.Projection pp -> solve_projection st ~depth ~prov pred pp
+        | Predicate.Trait tp -> solve_trait st ~gid ~depth ~prov pred tp
+        | Predicate.Projection pp -> solve_projection st ~gid ~depth ~prov pred pp
         | Predicate.TypeOutlives (ty, _) ->
-            leaf ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
-        | Predicate.RegionOutlives _ -> leaf ~depth ~prov pred Res.Yes
+            leaf ~gid ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
+        | Predicate.RegionOutlives _ -> leaf ~gid ~depth ~prov pred Res.Yes
         | Predicate.WellFormed ty ->
-            leaf ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
+            leaf ~gid ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
         | Predicate.ObjectSafe _ | Predicate.ConstEvaluatable _ ->
-            leaf ~depth ~prov pred Res.Yes
+            leaf ~gid ~depth ~prov pred Res.Yes
         | Predicate.NormalizesTo (proj, var) ->
-            let n = normalize_proj st ~depth ~prov proj in
+            let n = normalize_proj st ~id:gid ~depth ~prov proj in
             (match n.norm_ty with
             | Some ty when Res.is_yes n.norm_node.result ->
                 (* capture the value into the output variable *)
@@ -162,6 +180,9 @@ let rec solve_goal st ~depth prov (pred0 : Predicate.t) : Trace.goal_node =
       node
     end
   in
+  (* the exit event is authoritative for replay: a [NormalizesTo] node's
+     predicate and flags are rewritten between enter and exit *)
+  Jlog.goal_exit node;
   Telemetry.end_ sp_goal tok;
   node
 
@@ -173,40 +194,44 @@ and cycles st pred =
 
 (* --- trait predicates --------------------------------------------- *)
 
-and solve_trait st ~depth ~prov pred (tp : Predicate.trait_pred) : Trace.goal_node =
+and solve_trait st ~gid ~depth ~prov pred (tp : Predicate.trait_pred) : Trace.goal_node =
   let self = Unify.shallow st.icx tp.self_ty in
   match self with
   | Ty.Infer _ ->
       (* Cannot enumerate candidates for an unknown self type: ambiguous.
          The obligation engine will retry once inference progresses. *)
-      leaf ~depth ~prov pred Res.Maybe
+      leaf ~gid ~depth ~prov pred Res.Maybe
   | _ ->
       let env_cands =
         List.filter_map
           (fun envp ->
             match envp with
             | Predicate.Trait etp when Path.equal etp.trait_ref.trait tp.trait_ref.trait ->
-                Some (eval_env_candidate st ~commit:false envp etp tp)
+                Some (eval_env_candidate st ~goal:gid ~commit:false envp etp tp)
             | _ -> None)
           st.env
       in
       let impl_cands =
         Program.impls_of_trait st.program tp.trait_ref.trait
-        |> List.map (fun impl -> eval_impl_candidate st ~depth ~commit:false impl tp)
+        |> List.map (fun impl -> eval_impl_candidate st ~goal:gid ~depth ~commit:false impl tp)
       in
       let builtin_cands =
-        if st.cfg.enable_builtins then builtin_candidates st ~depth ~commit:false tp
+        if st.cfg.enable_builtins then builtin_candidates st ~goal:gid ~depth ~commit:false tp
         else []
       in
       Telemetry.add c_cand_env (List.length env_cands);
       Telemetry.add c_cand_impl (List.length impl_cands);
       Telemetry.add c_cand_builtin (List.length builtin_cands);
+      Jlog.cand_assembled ~goal:gid
+        ~param_env:(List.length env_cands)
+        ~impls:(List.length impl_cands)
+        ~builtin:(List.length builtin_cands);
       let candidates = env_cands @ impl_cands @ builtin_cands in
-      select st ~depth ~prov pred tp candidates
+      select st ~gid ~depth ~prov pred tp candidates
 
 (** Candidate selection: commit a uniquely successful candidate so its
     inference-variable bindings guide the rest of solving. *)
-and select st ~depth ~prov pred tp candidates : Trace.goal_node =
+and select st ~gid ~depth ~prov pred tp candidates : Trace.goal_node =
   let yes = List.filter (fun (c : Trace.cand_node) -> Res.is_yes c.cand_result) candidates in
   let env_yes =
     List.filter
@@ -220,6 +245,7 @@ and select st ~depth ~prov pred tp candidates : Trace.goal_node =
     | [], [ c ] -> (Res.Yes, [], Some c)
     | [], _ :: _ :: _ ->
         Telemetry.incr c_ambiguous;
+        Jlog.ambiguity ~id:gid ~succeeded:(List.length yes);
         (Res.Maybe, [ Trace.Ambiguous_selection ], None)
     | [], [] ->
         if List.exists (fun (c : Trace.cand_node) -> Res.is_maybe c.cand_result) candidates
@@ -227,21 +253,25 @@ and select st ~depth ~prov pred tp candidates : Trace.goal_node =
         else (Res.No, [], None)
   in
   (match to_commit with
-  | Some c -> commit_candidate st ~depth c tp
+  | Some c ->
+      Jlog.cand_commit ~goal:gid ~cand:c.cid;
+      muted (fun () -> commit_candidate st ~goal:gid ~depth c tp)
   | None -> ());
-  { pred; result; candidates; depth; provenance = prov; flags }
+  { gid; pred; result; candidates; depth; provenance = prov; flags }
 
-and commit_candidate st ~depth (c : Trace.cand_node) tp =
+and commit_candidate st ~goal ~depth (c : Trace.cand_node) tp =
   match c.source with
-  | Trace.Cand_impl impl -> ignore (eval_impl_candidate st ~depth ~commit:true impl tp)
+  | Trace.Cand_impl impl -> ignore (eval_impl_candidate st ~goal ~depth ~commit:true impl tp)
   | Trace.Cand_param_env envp -> (
       match envp with
-      | Predicate.Trait etp -> ignore (eval_env_candidate st ~commit:true envp etp tp)
+      | Predicate.Trait etp -> ignore (eval_env_candidate st ~goal ~commit:true envp etp tp)
       | _ -> ())
-  | Trace.Cand_builtin _ -> ignore (builtin_recommit st ~depth c tp)
+  | Trace.Cand_builtin _ -> ignore (builtin_recommit st ~goal ~depth c tp)
 
-and eval_env_candidate st ~commit envp (etp : Predicate.trait_pred)
+and eval_env_candidate st ~goal ~commit envp (etp : Predicate.trait_pred)
     (tp : Predicate.trait_pred) : Trace.cand_node =
+  let cid = Journal.fresh_id () in
+  Jlog.cand_enter ~id:cid ~goal (Trace.Cand_param_env envp);
   let snap = Infer_ctx.snapshot st.icx in
   let outcome =
     match Unify.unify st.icx tp.self_ty etp.self_ty with
@@ -251,16 +281,19 @@ and eval_env_candidate st ~commit envp (etp : Predicate.trait_pred)
   let node : Trace.cand_node =
     match outcome with
     | Ok () ->
-        { source = Trace.Cand_param_env envp; cand_result = Res.Yes; subgoals = []; failure = None }
+        { cid; source = Trace.Cand_param_env envp; cand_result = Res.Yes; subgoals = []; failure = None }
     | Error f ->
-        { source = Trace.Cand_param_env envp; cand_result = Res.No; subgoals = []; failure = Some f }
+        { cid; source = Trace.Cand_param_env envp; cand_result = Res.No; subgoals = []; failure = Some f }
   in
   if commit && Result.is_ok outcome then Infer_ctx.commit st.icx snap
   else Infer_ctx.rollback_to st.icx snap;
+  Jlog.cand_exit node;
   node
 
-and eval_impl_candidate st ~depth ~commit (impl : Decl.impl) (tp : Predicate.trait_pred) :
+and eval_impl_candidate st ~goal ~depth ~commit (impl : Decl.impl) (tp : Predicate.trait_pred) :
     Trace.cand_node =
+  let cid = Journal.fresh_id () in
+  Jlog.cand_enter ~id:cid ~goal (Trace.Cand_impl impl);
   let snap = Infer_ctx.snapshot st.icx in
   let subst = Infer_ctx.instantiate_generics st.icx impl.impl_generics in
   let head_self = Subst.ty subst impl.impl_self in
@@ -271,16 +304,17 @@ and eval_impl_candidate st ~depth ~commit (impl : Decl.impl) (tp : Predicate.tra
   let norm_nodes = n_self.norm_nodes @ n_head.norm_nodes in
   let head_outcome =
     match Unify.unify st.icx n_self.norm_ty' n_head.norm_ty' with
-    | Error f -> Error f
+    | Error f -> Error ([], f)
     | Ok () -> unify_trait_refs_norm st ~depth tp.trait_ref head_trait
   in
   let node =
     match head_outcome with
-    | Error f ->
+    | Error (extra, f) ->
         {
-          Trace.source = Trace.Cand_impl impl;
+          Trace.cid;
+          source = Trace.Cand_impl impl;
           cand_result = Res.No;
-          subgoals = norm_nodes;
+          subgoals = norm_nodes @ extra;
           failure = Some f;
         }
     | Ok extra_nodes ->
@@ -296,20 +330,27 @@ and eval_impl_candidate st ~depth ~commit (impl : Decl.impl) (tp : Predicate.tra
         let result =
           Res.conj (List.map (fun (g : Trace.goal_node) -> g.result) all)
         in
-        { Trace.source = Trace.Cand_impl impl; cand_result = result; subgoals = all; failure = None }
+        { Trace.cid; source = Trace.Cand_impl impl; cand_result = result; subgoals = all; failure = None }
   in
   if commit && Res.is_yes node.cand_result then Infer_ctx.commit st.icx snap
   else Infer_ctx.rollback_to st.icx snap;
+  Jlog.cand_exit node;
   node
 
 (** Unify two trait refs, routing projection/rigid clashes through
-    normalization.  Returns the normalization nodes generated. *)
+    normalization.  Returns the normalization nodes generated — on both
+    the success and failure paths, since the journal (and the trace)
+    must account for every node evaluated before a mismatch. *)
 and unify_trait_refs_norm st ~depth (a : Ty.trait_ref) (b : Ty.trait_ref) :
-    (Trace.goal_node list, Unify.failure) result =
+    (Trace.goal_node list, Trace.goal_node list * Unify.failure) result =
+  let manual_failure f =
+    Jlog.unify_failed st.icx (Ty.Dynamic a) (Ty.Dynamic b) f;
+    f
+  in
   if not (Path.equal a.trait b.trait) then
-    Error (Unify.Head_mismatch (Ty.Dynamic a, Ty.Dynamic b))
+    Error ([], manual_failure (Unify.Head_mismatch (Ty.Dynamic a, Ty.Dynamic b)))
   else if List.length a.args <> List.length b.args then
-    Error (Unify.Arity (Ty.Dynamic a, Ty.Dynamic b))
+    Error ([], manual_failure (Unify.Arity (Ty.Dynamic a, Ty.Dynamic b)))
   else
     let rec go acc xs ys =
       match (xs, ys) with
@@ -323,48 +364,62 @@ and unify_trait_refs_norm st ~depth (a : Ty.trait_ref) (b : Ty.trait_ref) :
               let acc = List.rev_append ny.norm_nodes (List.rev_append nx.norm_nodes acc) in
               match Unify.unify st.icx nx.norm_ty' ny.norm_ty' with
               | Ok () -> go acc xs ys
-              | Error f -> Error f)
-          | _ -> Error (Unify.Arity (Ty.Dynamic a, Ty.Dynamic b)))
-      | _ -> Error (Unify.Arity (Ty.Dynamic a, Ty.Dynamic b))
+              | Error f -> Error (List.rev acc, f))
+          | _ ->
+              Error (List.rev acc, manual_failure (Unify.Arity (Ty.Dynamic a, Ty.Dynamic b))))
+      | _ -> Error (List.rev acc, manual_failure (Unify.Arity (Ty.Dynamic a, Ty.Dynamic b)))
     in
     go [] a.args b.args
 
 (* --- built-in candidates ------------------------------------------- *)
 
-and builtin_candidates st ~depth ~commit (tp : Predicate.trait_pred) :
+and builtin_candidates st ~goal ~depth ~commit (tp : Predicate.trait_pred) :
     Trace.cand_node list =
   let self = Infer_ctx.resolve st.icx tp.self_ty in
-  if is_sized tp.trait_ref.trait then [ builtin_sized self ]
+  if is_sized tp.trait_ref.trait then [ builtin_sized ~goal self ]
   else if is_fn_family tp.trait_ref.trait then begin
     match self with
     | Ty.FnPtr (inputs, _) | Ty.FnItem (_, inputs, _) ->
-        [ builtin_fn st ~depth ~commit tp inputs ]
+        [ builtin_fn st ~goal ~depth ~commit tp inputs ]
     | _ -> []
   end
   else if Path.name tp.trait_ref.trait = "Tuple" then begin
     match self with
     | Ty.Tuple _ | Ty.Unit ->
-        [
+        let cid = Journal.fresh_id () in
+        Jlog.cand_enter ~id:cid ~goal (Trace.Cand_builtin "tuple");
+        let node =
           {
-            Trace.source = Trace.Cand_builtin "tuple";
+            Trace.cid;
+            source = Trace.Cand_builtin "tuple";
             cand_result = Res.Yes;
             subgoals = [];
             failure = None;
-          };
-        ]
+          }
+        in
+        Jlog.cand_exit node;
+        [ node ]
     | _ -> []
   end
   else []
 
-and builtin_sized (self : Ty.t) : Trace.cand_node =
+and builtin_sized ~goal (self : Ty.t) : Trace.cand_node =
+  let cid = Journal.fresh_id () in
+  Jlog.cand_enter ~id:cid ~goal (Trace.Cand_builtin "sized");
   let result = match self with Ty.Dynamic _ -> Res.No | _ -> Res.Yes in
-  { source = Trace.Cand_builtin "sized"; cand_result = result; subgoals = []; failure = None }
+  let node : Trace.cand_node =
+    { cid; source = Trace.Cand_builtin "sized"; cand_result = result; subgoals = []; failure = None }
+  in
+  Jlog.cand_exit node;
+  node
 
 (** [fn(A, B) -> R] implements [Fn<(A, B)>]; the trait's single type
     argument is the tupled inputs.  Projections in the expected argument
     tuple (e.g. [Fn<(<I as Iterator>::Item,)>]) are normalized first. *)
-and builtin_fn st ~depth ~commit (tp : Predicate.trait_pred) (inputs : Ty.t list) :
+and builtin_fn st ~goal ~depth ~commit (tp : Predicate.trait_pred) (inputs : Ty.t list) :
     Trace.cand_node =
+  let cid = Journal.fresh_id () in
+  Jlog.cand_enter ~id:cid ~goal (Trace.Cand_builtin "fn-item");
   let snap = Infer_ctx.snapshot st.icx in
   let expected = Ty.tuple inputs in
   let norm_nodes, outcome =
@@ -373,7 +428,10 @@ and builtin_fn st ~depth ~commit (tp : Predicate.trait_pred) (inputs : Ty.t list
         let n = deep_normalize st ~depth args_ty in
         (n.norm_nodes, Unify.unify st.icx n.norm_ty' expected)
     | [] -> ([], Ok ())
-    | _ -> ([], Error (Unify.Arity (tp.self_ty, expected)))
+    | _ ->
+        let f = Unify.Arity (tp.self_ty, expected) in
+        Jlog.unify_failed st.icx tp.self_ty expected f;
+        ([], Error f)
   in
   let sub_result =
     Res.conj (List.map (fun (g : Trace.goal_node) -> g.result) norm_nodes)
@@ -382,6 +440,7 @@ and builtin_fn st ~depth ~commit (tp : Predicate.trait_pred) (inputs : Ty.t list
     match outcome with
     | Ok () ->
         {
+          cid;
           source = Trace.Cand_builtin "fn-item";
           cand_result = sub_result;
           subgoals = norm_nodes;
@@ -389,6 +448,7 @@ and builtin_fn st ~depth ~commit (tp : Predicate.trait_pred) (inputs : Ty.t list
         }
     | Error f ->
         {
+          cid;
           source = Trace.Cand_builtin "fn-item";
           cand_result = Res.No;
           subgoals = norm_nodes;
@@ -397,39 +457,46 @@ and builtin_fn st ~depth ~commit (tp : Predicate.trait_pred) (inputs : Ty.t list
   in
   if commit && Res.is_yes node.cand_result then Infer_ctx.commit st.icx snap
   else Infer_ctx.rollback_to st.icx snap;
+  Jlog.cand_exit node;
   node
 
-and builtin_recommit st ~depth (c : Trace.cand_node) (tp : Predicate.trait_pred) : unit =
+and builtin_recommit st ~goal ~depth (c : Trace.cand_node) (tp : Predicate.trait_pred) : unit =
   ignore depth;
   match c.source with
   | Trace.Cand_builtin "fn-item" -> (
       match Infer_ctx.resolve st.icx tp.self_ty with
       | Ty.FnPtr (inputs, _) | Ty.FnItem (_, inputs, _) ->
-          ignore (builtin_fn st ~depth ~commit:true tp inputs)
+          ignore (builtin_fn st ~goal ~depth ~commit:true tp inputs)
       | _ -> ())
   | _ -> ()
 
 (* --- projection predicates ----------------------------------------- *)
 
-and solve_projection st ~depth ~prov pred (pp : Predicate.proj_pred) : Trace.goal_node =
+and solve_projection st ~gid ~depth ~prov pred (pp : Predicate.proj_pred) : Trace.goal_node =
   let proj = Infer_ctx.resolve_projection st.icx pp.projection in
-  if not (head_known st.icx proj.self_ty) then leaf ~depth ~prov pred Res.Maybe
+  if not (head_known st.icx proj.self_ty) then leaf ~gid ~depth ~prov pred Res.Maybe
   else begin
+    (* Impl candidates are evaluated first, matching their position in
+       the candidate list (and hence the journal's event order). *)
+    let impl_cands =
+      Program.impls_of_trait st.program proj.proj_trait.trait
+      |> List.map (fun impl ->
+             eval_proj_impl_candidate st ~goal:gid ~depth ~commit:false impl proj pp)
+    in
     (* Built-in: <fn-like as Fn<..>>::Output normalizes to the return. *)
     let builtin =
       if is_fn_family proj.proj_trait.trait && proj.assoc = "Output" then
         match Unify.shallow st.icx proj.self_ty with
         | Ty.FnPtr (_, ret) | Ty.FnItem (_, _, ret) ->
-            Some (eval_proj_builtin st ret pp)
+            Some (eval_proj_builtin st ~goal:gid ret pp)
         | _ -> None
       else None
     in
-    let impl_cands =
-      Program.impls_of_trait st.program proj.proj_trait.trait
-      |> List.map (fun impl -> eval_proj_impl_candidate st ~depth ~commit:false impl proj pp)
-    in
     Telemetry.add c_cand_impl (List.length impl_cands);
     Telemetry.add c_cand_builtin (if builtin = None then 0 else 1);
+    Jlog.cand_assembled ~goal:gid ~param_env:0
+      ~impls:(List.length impl_cands)
+      ~builtin:(if builtin = None then 0 else 1);
     let candidates = impl_cands @ Option.to_list builtin in
     let yes = List.filter (fun (c : Trace.cand_node) -> Res.is_yes c.cand_result) candidates in
     let result, flags, to_commit =
@@ -437,6 +504,7 @@ and solve_projection st ~depth ~prov pred (pp : Predicate.proj_pred) : Trace.goa
       | [ c ] -> (Res.Yes, [], Some c)
       | _ :: _ :: _ ->
           Telemetry.incr c_ambiguous;
+          Jlog.ambiguity ~id:gid ~succeeded:(List.length yes);
           (Res.Maybe, [ Trace.Ambiguous_selection ], None)
       | [] ->
           if List.exists (fun (c : Trace.cand_node) -> Res.is_maybe c.cand_result) candidates
@@ -444,36 +512,45 @@ and solve_projection st ~depth ~prov pred (pp : Predicate.proj_pred) : Trace.goa
           else (Res.No, [], None)
     in
     (match to_commit with
-    | Some { source = Trace.Cand_impl impl; _ } ->
-        ignore (eval_proj_impl_candidate st ~depth ~commit:true impl proj pp)
-    | Some { source = Trace.Cand_builtin _; _ } -> (
-        match Unify.shallow st.icx proj.self_ty with
-        | Ty.FnPtr (_, ret) | Ty.FnItem (_, _, ret) ->
-            ignore (Unify.unify st.icx pp.term ret)
-        | _ -> ())
+    | Some ({ source = Trace.Cand_impl impl; _ } as c) ->
+        Jlog.cand_commit ~goal:gid ~cand:c.cid;
+        muted (fun () ->
+            ignore (eval_proj_impl_candidate st ~goal:gid ~depth ~commit:true impl proj pp))
+    | Some ({ source = Trace.Cand_builtin _; _ } as c) ->
+        Jlog.cand_commit ~goal:gid ~cand:c.cid;
+        muted (fun () ->
+            match Unify.shallow st.icx proj.self_ty with
+            | Ty.FnPtr (_, ret) | Ty.FnItem (_, _, ret) ->
+                ignore (Unify.unify st.icx pp.term ret)
+            | _ -> ())
     | _ -> ());
-    { pred; result; candidates; depth; provenance = prov; flags }
+    { gid; pred; result; candidates; depth; provenance = prov; flags }
   end
 
-and eval_proj_builtin st ret (pp : Predicate.proj_pred) : Trace.cand_node =
+and eval_proj_builtin st ~goal ret (pp : Predicate.proj_pred) : Trace.cand_node =
+  let cid = Journal.fresh_id () in
+  Jlog.cand_enter ~id:cid ~goal (Trace.Cand_builtin "fn-output");
   let snap = Infer_ctx.snapshot st.icx in
   let outcome = Unify.unify st.icx pp.term ret in
   let node : Trace.cand_node =
     match outcome with
     | Ok () ->
-        { source = Trace.Cand_builtin "fn-output"; cand_result = Res.Yes; subgoals = []; failure = None }
+        { cid; source = Trace.Cand_builtin "fn-output"; cand_result = Res.Yes; subgoals = []; failure = None }
     | Error f ->
-        { source = Trace.Cand_builtin "fn-output"; cand_result = Res.No; subgoals = []; failure = Some f }
+        { cid; source = Trace.Cand_builtin "fn-output"; cand_result = Res.No; subgoals = []; failure = Some f }
   in
   Infer_ctx.rollback_to st.icx snap;
+  Jlog.cand_exit node;
   node
 
 (** A projection candidate: the impl must (1) head-match the projection's
     self type and trait args, (2) satisfy its where-clauses, and (3) have
     its associated-type binding unify with the expected term — a failure
     at step (3) is rustc's E0271 "type mismatch resolving". *)
-and eval_proj_impl_candidate st ~depth ~commit (impl : Decl.impl) (proj : Ty.projection)
+and eval_proj_impl_candidate st ~goal ~depth ~commit (impl : Decl.impl) (proj : Ty.projection)
     (pp : Predicate.proj_pred) : Trace.cand_node =
+  let cid = Journal.fresh_id () in
+  Jlog.cand_enter ~id:cid ~goal (Trace.Cand_impl impl);
   let snap = Infer_ctx.snapshot st.icx in
   let subst = Infer_ctx.instantiate_generics st.icx impl.impl_generics in
   let head_self = Subst.ty subst impl.impl_self in
@@ -481,30 +558,30 @@ and eval_proj_impl_candidate st ~depth ~commit (impl : Decl.impl) (proj : Ty.pro
   let n_self = deep_normalize st ~depth proj.self_ty in
   let head_outcome =
     match Unify.unify st.icx n_self.norm_ty' head_self with
-    | Error f -> Error f
-    | Ok () -> (
-        match unify_trait_refs_norm st ~depth proj.proj_trait head_trait with
-        | Error f -> Error f
-        | Ok nodes -> Ok nodes)
+    | Error f -> Error ([], f)
+    | Ok () -> unify_trait_refs_norm st ~depth proj.proj_trait head_trait
   in
   let node =
     match head_outcome with
-    | Error f ->
+    | Error (extra, f) ->
         {
-          Trace.source = Trace.Cand_impl impl;
+          Trace.cid;
+          source = Trace.Cand_impl impl;
           cand_result = Res.No;
-          subgoals = n_self.norm_nodes;
+          subgoals = n_self.norm_nodes @ extra;
           failure = Some f;
         }
     | Ok extra -> (
         match binding_of_impl st impl subst proj.assoc with
         | None ->
+            let f = Unify.Projection_ambiguous (proj, pp.term) in
+            Jlog.unify_failed st.icx (Ty.Proj proj) pp.term f;
             {
-              Trace.source = Trace.Cand_impl impl;
+              Trace.cid;
+              source = Trace.Cand_impl impl;
               cand_result = Res.No;
               subgoals = n_self.norm_nodes @ extra;
-              failure =
-                Some (Unify.Projection_ambiguous (proj, pp.term));
+              failure = Some f;
             }
         | Some binding_ty ->
             let subgoals =
@@ -522,14 +599,16 @@ and eval_proj_impl_candidate st ~depth ~commit (impl : Decl.impl) (proj : Ty.pro
             (match term_outcome with
             | Ok () ->
                 {
-                  Trace.source = Trace.Cand_impl impl;
+                  Trace.cid;
+                  source = Trace.Cand_impl impl;
                   cand_result = sub_result;
                   subgoals = all;
                   failure = None;
                 }
             | Error f ->
                 {
-                  Trace.source = Trace.Cand_impl impl;
+                  Trace.cid;
+                  source = Trace.Cand_impl impl;
                   cand_result = Res.No;
                   subgoals = all;
                   failure = Some f;
@@ -537,6 +616,7 @@ and eval_proj_impl_candidate st ~depth ~commit (impl : Decl.impl) (proj : Ty.pro
   in
   if commit && Res.is_yes node.Trace.cand_result then Infer_ctx.commit st.icx snap
   else Infer_ctx.rollback_to st.icx snap;
+  Jlog.cand_exit node;
   node
 
 (** Look up the impl's binding for [assoc], falling back to the trait's
@@ -579,14 +659,17 @@ and deep_normalize st ~depth (ty : Ty.t) : norm_result =
         if depth > st.cfg.depth_limit then begin
           Telemetry.incr c_overflow;
           let fresh = Infer_ctx.fresh st.icx in
-          nodes :=
-            !nodes
-            @ [
-                leaf ~depth ~prov:Trace.Normalization
-                  ~flags:[ Trace.Stateful; Trace.Depth_limit; Trace.Overflow ]
-                  (Predicate.NormalizesTo (p, fresh))
-                  Res.No;
-              ];
+          let gid = Journal.fresh_id () in
+          let pred = Predicate.NormalizesTo (p, fresh) in
+          Jlog.goal_enter ~id:gid ~depth Trace.Normalization pred;
+          Jlog.overflow ~id:gid ~depth_limited:true;
+          let node =
+            leaf ~gid ~depth ~prov:Trace.Normalization
+              ~flags:[ Trace.Stateful; Trace.Depth_limit; Trace.Overflow ]
+              pred Res.No
+          in
+          Jlog.goal_exit node;
+          nodes := !nodes @ [ node ];
           Proj p
         end
         else begin
@@ -601,18 +684,35 @@ and deep_normalize st ~depth (ty : Ty.t) : norm_result =
   let norm_ty' = go depth ty in
   { norm_ty'; norm_nodes = !nodes }
 
-and normalize_proj st ~depth ~prov (proj : Ty.projection) : proj_norm =
+(** Normalize one projection.  When [id] is supplied the caller
+    ({!solve_goal} on a [NormalizesTo] predicate) already opened the
+    journal goal frame and will close it with the wrapped node; without
+    it (the {!deep_normalize} path) this function owns the frame. *)
+and normalize_proj st ?id ~depth ~prov (proj : Ty.projection) : proj_norm =
   Telemetry.incr c_normalize;
   let fresh = Infer_ctx.fresh st.icx in
   let pred = Predicate.NormalizesTo (proj, fresh) in
+  let gid, ambient =
+    match id with Some g -> (g, true) | None -> (Journal.fresh_id (), false)
+  in
+  if not ambient then Jlog.goal_enter ~id:gid ~depth prov pred;
+  let finish (out : proj_norm) =
+    Jlog.norm_resolved ~id:gid out.norm_ty;
+    if not ambient then Jlog.goal_exit out.norm_node;
+    out
+  in
   if not (head_known st.icx proj.self_ty) then
-    { norm_ty = None; norm_node = leaf ~depth ~prov ~flags:[ Trace.Stateful ] pred Res.Maybe }
+    finish
+      { norm_ty = None; norm_node = leaf ~gid ~depth ~prov ~flags:[ Trace.Stateful ] pred Res.Maybe }
   else if cycles st pred then begin
     Telemetry.incr c_overflow;
-    {
-      norm_ty = None;
-      norm_node = leaf ~depth ~prov ~flags:[ Trace.Stateful; Trace.Overflow ] pred Res.No;
-    }
+    Jlog.cycle ~id:gid pred;
+    Jlog.overflow ~id:gid ~depth_limited:false;
+    finish
+      {
+        norm_ty = None;
+        norm_node = leaf ~gid ~depth ~prov ~flags:[ Trace.Stateful; Trace.Overflow ] pred Res.No;
+      }
   end
   else begin
     st.stack <- pred :: st.stack;
@@ -621,22 +721,27 @@ and normalize_proj st ~depth ~prov (proj : Ty.projection) : proj_norm =
       if is_fn_family proj.proj_trait.trait && proj.assoc = "Output" then
         match Unify.shallow st.icx proj.self_ty with
         | Ty.FnPtr (_, ret) | Ty.FnItem (_, _, ret) ->
+            let cid = Journal.fresh_id () in
+            Jlog.cand_enter ~id:cid ~goal:gid (Trace.Cand_builtin "fn-output");
+            let cand : Trace.cand_node =
+              {
+                cid;
+                source = Trace.Cand_builtin "fn-output";
+                cand_result = Res.Yes;
+                subgoals = [];
+                failure = None;
+              }
+            in
+            Jlog.cand_exit cand;
             Some
               {
                 norm_ty = Some ret;
                 norm_node =
                   {
+                    gid;
                     pred;
                     result = Res.Yes;
-                    candidates =
-                      [
-                        {
-                          source = Trace.Cand_builtin "fn-output";
-                          cand_result = Res.Yes;
-                          subgoals = [];
-                          failure = None;
-                        };
-                      ];
+                    candidates = [ cand ];
                     depth;
                     provenance = prov;
                     flags = [ Trace.Stateful ];
@@ -648,13 +753,13 @@ and normalize_proj st ~depth ~prov (proj : Ty.projection) : proj_norm =
     let out =
       match result with
       | Some r -> r
-      | None -> normalize_via_impls st ~depth ~prov pred proj
+      | None -> normalize_via_impls st ~gid ~depth ~prov pred proj
     in
     st.stack <- List.tl st.stack;
-    out
+    finish out
   end
 
-and normalize_via_impls st ~depth ~prov pred (proj : Ty.projection) : proj_norm =
+and normalize_via_impls st ~gid ~depth ~prov pred (proj : Ty.projection) : proj_norm =
   let impls = Program.impls_of_trait st.program proj.proj_trait.trait in
   (* Probe which impls head-match. *)
   let probe impl =
@@ -677,6 +782,7 @@ and normalize_via_impls st ~depth ~prov pred (proj : Ty.projection) : proj_norm 
         norm_ty = None;
         norm_node =
           {
+            gid;
             pred;
             result = Res.No;
             candidates = [];
@@ -685,18 +791,21 @@ and normalize_via_impls st ~depth ~prov pred (proj : Ty.projection) : proj_norm 
             flags = [ Trace.Stateful ];
           };
       }
-  | _ :: _ :: _ ->
+  | _ :: _ :: _ as matching ->
       (* more than one possible impl: stuck until inference decides *)
       Telemetry.incr c_ambiguous;
+      Jlog.ambiguity ~id:gid ~succeeded:(List.length matching);
       {
         norm_ty = None;
         norm_node =
-          leaf ~depth ~prov ~flags:[ Trace.Stateful; Trace.Ambiguous_selection ] pred
+          leaf ~gid ~depth ~prov ~flags:[ Trace.Stateful; Trace.Ambiguous_selection ] pred
             Res.Maybe;
       }
   | [ impl ] ->
       (* Commit the unique impl: unify heads for real, then solve its
          where-clauses as the node's subtree. *)
+      let cid = Journal.fresh_id () in
+      Jlog.cand_enter ~id:cid ~goal:gid (Trace.Cand_impl impl);
       let subst = Infer_ctx.instantiate_generics st.icx impl.impl_generics in
       let _ = Unify.unify st.icx proj.self_ty (Subst.ty subst impl.impl_self) in
       let _ =
@@ -714,14 +823,17 @@ and normalize_via_impls st ~depth ~prov pred (proj : Ty.projection) : proj_norm 
       let binding = binding_of_impl st impl subst proj.assoc in
       let cand : Trace.cand_node =
         {
+          cid;
           source = Trace.Cand_impl impl;
           cand_result = sub_result;
           subgoals;
           failure = None;
         }
       in
+      Jlog.cand_exit cand;
       let node : Trace.goal_node =
         {
+          gid;
           pred;
           result = (if binding = None then Res.No else sub_result);
           candidates = [ cand ];
@@ -754,18 +866,25 @@ let solve st ?(origin = "this expression") ?(span = Span.dummy) pred =
     committed predicate, if any. *)
 let solve_probe st ?(origin = "method resolution") ?(span = Span.dummy)
     (alternatives : Predicate.t list) : Trace.goal_node list * int option =
+  Jlog.probe_begin ~origin ~alternatives:(List.length alternatives);
   let rec go idx acc = function
-    | [] -> (List.rev acc, None)
+    | [] ->
+        Jlog.probe_end ~committed:None;
+        (List.rev acc, None)
     | pred :: rest ->
         Telemetry.incr c_probe_roots;
         let snap = Infer_ctx.snapshot st.icx in
         let node = solve_goal st ~depth:0 (Trace.Root { origin; span }) pred in
         if Res.is_yes node.result then begin
           Infer_ctx.commit st.icx snap;
+          Jlog.probe_end ~committed:(Some idx);
           (List.rev (node :: acc), Some idx)
         end
         else begin
           Infer_ctx.rollback_to st.icx snap;
+          (* the flag is stamped after the goal already exited; replay
+             applies it post-hoc, exactly as we do here *)
+          Jlog.goal_flag ~id:node.gid Trace.Speculative;
           let node = { node with flags = Trace.Speculative :: node.flags } in
           go (idx + 1) (node :: acc) rest
         end

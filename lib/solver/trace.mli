@@ -26,6 +26,7 @@ type flag =
   | Ambiguous_selection  (** several candidates succeeded *)
 
 type goal_node = {
+  gid : int;  (** stable journal node ID ({!Journal.fresh_id}) *)
   pred : Predicate.t;  (** resolved as of evaluation start *)
   result : Res.t;
   candidates : cand_node list;
@@ -40,6 +41,7 @@ and cand_source =
   | Cand_builtin of string  (** e.g. "fn-item", "sized", "tuple" *)
 
 and cand_node = {
+  cid : int;  (** stable journal node ID ({!Journal.fresh_id}) *)
   source : cand_source;
   cand_result : Res.t;
   subgoals : goal_node list;

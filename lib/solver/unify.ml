@@ -32,6 +32,13 @@ let failure_to_string ?(cfg = Pretty.default) = function
       Printf.sprintf "cannot relate `%s` to `%s` without normalizing"
         (Pretty.projection ~cfg p) (Pretty.ty ~cfg t)
 
+let to_journal : failure -> Journal.unify_failure = function
+  | Head_mismatch (a, b) -> Journal.Head_mismatch (a, b)
+  | Arity (a, b) -> Journal.Arity (a, b)
+  | Region_mismatch (a, b) -> Journal.Region_mismatch (a, b)
+  | Occurs (i, t) -> Journal.Occurs (i, t)
+  | Projection_ambiguous (p, t) -> Journal.Projection_ambiguous (p, t)
+
 let ( let* ) = Result.bind
 
 (* Telemetry: one "attempt" per top-level unification operation (a call
@@ -122,16 +129,29 @@ and shallow icx (t : Ty.t) : Ty.t =
       match Infer_ctx.probe icx i with Some t' -> shallow icx t' | None -> t)
   | _ -> t
 
+(* Journal: one event per top-level unification operation, carrying the
+   operand types (resolved against the context) and the structured
+   failure, attached to the innermost open goal/candidate. *)
+let journal_attempt icx a b (r : unit result) =
+  if Journal.enabled () then
+    Journal.emit
+      (Journal.Unify
+         {
+           node = Journal.current_node ();
+           left = Infer_ctx.resolve icx a;
+           right = Infer_ctx.resolve icx b;
+           failure = (match r with Ok () -> None | Error f -> Some (to_journal f));
+         })
+
 (* Counting wrapper around the recursive core: shadows [unify] so every
    caller (including [can_unify] below and the whole solver) is counted,
    while structural recursion inside the core stays free. *)
 let unify icx a b =
   Telemetry.incr c_attempts;
-  match unify icx a b with
-  | Ok () as ok -> ok
-  | Error _ as e ->
-      Telemetry.incr c_failures;
-      e
+  let r = unify icx a b in
+  (match r with Error _ -> Telemetry.incr c_failures | Ok () -> ());
+  journal_attempt icx a b r;
+  r
 
 let unify_trait_refs icx (a : Ty.trait_ref) (b : Ty.trait_ref) : unit result =
   Telemetry.incr c_attempts;
@@ -141,6 +161,7 @@ let unify_trait_refs icx (a : Ty.trait_ref) (b : Ty.trait_ref) : unit result =
     else unify_args icx (Ty.Dynamic a) (Ty.Dynamic b) a.args b.args
   in
   (match r with Error _ -> Telemetry.incr c_failures | Ok () -> ());
+  journal_attempt icx (Ty.Dynamic a) (Ty.Dynamic b) r;
   r
 
 (** Can [a] and [b] possibly unify?  Probes under a snapshot and rolls

@@ -19,6 +19,9 @@ type 'a result = ('a, failure) Stdlib.result
 
 val failure_to_string : ?cfg:Pretty.config -> failure -> string
 
+(** The journal's structural mirror of [failure]. *)
+val to_journal : failure -> Journal.unify_failure
+
 (** Unify two regions.  Erased and inference regions unify with anything;
     the trait solver never fails on regions alone. *)
 val unify_region : Region.t -> Region.t -> unit result

@@ -48,6 +48,7 @@ let test_generalizes_consistent_bindings () =
 let test_dedup_attempts () =
   let mk pred : Solver.Trace.goal_node =
     {
+      gid = 0;
       pred;
       result = Solver.Res.Maybe;
       candidates = [];

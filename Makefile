@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-json bench-journal ci clean
+.PHONY: build test bench bench-json bench-journal perf ci clean
 
 build:
 	dune build @all
@@ -20,12 +20,19 @@ bench-json:
 bench-journal:
 	dune exec bench/main.exe -- --journal-only
 
+# Re-measure only the evaluation-cache on/off comparison (the headline
+# speedup numbers; see docs/PERFORMANCE.md), preserving the other
+# BENCH_pipeline.json sections.
+perf:
+	dune exec bench/main.exe -- --cache-only
+
 # What CI runs: full build, full test suite, and the bench smoke that
-# regenerates BENCH_pipeline.json.
+# regenerates BENCH_pipeline.json (1 timed run, 1 warmup — correctness
+# of the harness, not statistics).
 ci:
 	dune build @all
 	dune runtest
-	dune exec bench/main.exe -- --json-only
+	dune exec bench/main.exe -- --json-only --runs 1 --warmup 1
 
 clean:
 	dune clean

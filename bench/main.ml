@@ -20,8 +20,20 @@ let section title =
 
 let now_ns () = Monotonic_clock.clock_linux_get_time ()
 
-(** Median wall-clock nanoseconds of [f], over [runs] runs. *)
-let time_median ?(runs = 21) f =
+(* Defaults overridable from the command line: [--runs N] (CI smoke uses
+   [--runs 1]) and [--warmup N]. *)
+let bench_runs = ref 21
+let bench_warmup = ref 3
+
+(** Median wall-clock nanoseconds of [f] over [runs] timed runs, after
+    [warmup] untimed runs (fills icache/branch predictors and — for the
+    solver — the evaluation cache, so timed runs measure steady state). *)
+let time_median ?runs ?warmup f =
+  let runs = Option.value runs ~default:!bench_runs in
+  let warmup = Option.value warmup ~default:!bench_warmup in
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
   let samples =
     List.init runs (fun _ ->
         let t0 = now_ns () in
@@ -287,21 +299,56 @@ let ablation_inertia_weight_sensitivity () =
 (* ------------------------------------------------------------------ *)
 (* BENCH_pipeline.json: the machine-readable end-to-end numbers *)
 
-let bench_runs = 21
+(** The commit the numbers were measured at, straight from [.git] (the
+    bench runs from the repo root; no subprocess).  "unknown" outside a
+    work tree. *)
+let git_commit () =
+  let first_line path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> String.trim (input_line ic))
+  in
+  let packed_ref r =
+    let ic = open_in ".git/packed-refs" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec scan () =
+          let line = input_line ic in
+          match String.index_opt line ' ' with
+          | Some i when String.sub line (i + 1) (String.length line - i - 1) = r ->
+              String.sub line 0 i
+          | _ -> scan ()
+        in
+        scan ())
+  in
+  try
+    let head = first_line ".git/HEAD" in
+    if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
+      let r = String.sub head 5 (String.length head - 5) in
+      try first_line (Filename.concat ".git" r)
+      with Sys_error _ | End_of_file -> ( try packed_ref r with _ -> "unknown")
+    end
+    else head
+  with Sys_error _ | End_of_file -> "unknown"
 
 (** Journal overhead per corpus program: the disabled sink (every
     emission point is one load + branch) vs streaming JSONL entries to
     /dev/null.  The disabled medians must be indistinguishable from the
     plain pipeline entries; the enabled cost is dominated by JSON
-    encoding. *)
+    encoding.  The evaluation cache is off for both sides — with a
+    journal attached the solver re-derives cached subtrees anyway
+    (observe-only mode), so leaving it on would bill cache savings from
+    the disabled runs to the journal. *)
 let bench_journal_entries () =
   Printf.printf "  %-28s %12s %12s %8s %9s\n" "program" "disabled" "enabled" "events"
     "overhead";
+  Solver.Eval_cache.set_enabled false;
+  let rows =
   List.map
     (fun (e : Corpus.Harness.entry) ->
       let program = Corpus.Harness.load e in
       let ns_disabled =
-        time_median ~runs:bench_runs (fun () -> Solver.Obligations.solve_program program)
+        time_median (fun () -> Solver.Obligations.solve_program program)
       in
       let devnull = open_out "/dev/null" in
       Journal.set_sink
@@ -311,7 +358,7 @@ let bench_journal_entries () =
                (Argus_json.Json.to_string (Argus_json.Journal_codec.entry_to_json en));
              output_char devnull '\n'));
       let ns_enabled =
-        time_median ~runs:bench_runs (fun () -> Solver.Obligations.solve_program program)
+        time_median (fun () -> Solver.Obligations.solve_program program)
       in
       Journal.set_sink None;
       close_out devnull;
@@ -331,15 +378,85 @@ let bench_journal_entries () =
           ("overhead_pct", Argus_json.Json.Float overhead_pct);
         ])
     Corpus.Suite.entries
+  in
+  Solver.Eval_cache.set_enabled true;
+  rows
 
-let write_pipeline_doc ~entries ~journal =
+(** Evaluation-cache on/off comparison per 17-program suite entry.  The
+    program is loaded once, so its interner stamp is stable and warm-up
+    runs on the "on" side populate the cache the timed runs then hit.
+    Hit/miss counters come from one extra telemetry-counted run against
+    the warm cache. *)
+let bench_cache_entries () =
+  Printf.printf "  %-28s %12s %12s %8s %7s %7s\n" "program" "cache off" "cache on"
+    "speedup" "hits" "misses";
+  let rows =
+    List.map
+      (fun (e : Corpus.Harness.entry) ->
+        let program = Corpus.Harness.load e in
+        Solver.Eval_cache.set_enabled false;
+        let ns_off = time_median (fun () -> Solver.Obligations.solve_program program) in
+        Solver.Eval_cache.set_enabled true;
+        Solver.Eval_cache.clear ();
+        let ns_on = time_median (fun () -> Solver.Obligations.solve_program program) in
+        Telemetry.reset ();
+        Telemetry.enable ();
+        ignore (Solver.Obligations.solve_program program);
+        Telemetry.disable ();
+        let tree_hits = Telemetry.counter_value "cache.tree.hits" in
+        let tree_misses = Telemetry.counter_value "cache.tree.misses" in
+        let result_hits = Telemetry.counter_value "cache.result.hits" in
+        let result_misses = Telemetry.counter_value "cache.result.misses" in
+        let hits = tree_hits + result_hits and misses = tree_misses + result_misses in
+        let hit_rate =
+          if hits + misses = 0 then 0.0
+          else float_of_int hits /. float_of_int (hits + misses)
+        in
+        let speedup = ns_off /. ns_on in
+        Printf.printf "  %-28s %9.2f us %9.2f us %7.2fx %7d %7d\n" e.id (ns_off /. 1e3)
+          (ns_on /. 1e3) speedup hits misses;
+        let row =
+          Argus_json.Json.Obj
+            [
+              ("name", Argus_json.Json.String e.id);
+              ("library", Argus_json.Json.String e.library);
+              ("ns_cache_off", Argus_json.Json.Float ns_off);
+              ("ns_cache_on", Argus_json.Json.Float ns_on);
+              ("speedup", Argus_json.Json.Float speedup);
+              ("tree_hits", Argus_json.Json.Int tree_hits);
+              ("tree_misses", Argus_json.Json.Int tree_misses);
+              ("result_hits", Argus_json.Json.Int result_hits);
+              ("result_misses", Argus_json.Json.Int result_misses);
+              ("hit_rate", Argus_json.Json.Float hit_rate);
+            ]
+        in
+        (e.library, speedup, row))
+      Corpus.Suite.entries
+  in
+  let diesel =
+    List.filter_map
+      (fun (lib, s, _) -> if lib = "diesel_lite" then Some s else None)
+      rows
+  in
+  let diesel_median =
+    if diesel = [] then 0.0 else Stats.Descriptive.median diesel
+  in
+  Printf.printf "  diesel_lite median speedup: %.2fx\n" diesel_median;
+  (List.map (fun (_, _, row) -> row) rows, diesel_median)
+
+let write_pipeline_doc ~entries ~journal ~cache ~diesel_speedup =
   let doc =
     Argus_json.Json.Obj
       [
-        ("schema", Argus_json.Json.String "argus.bench.pipeline/v2");
-        ("runs", Argus_json.Json.Int bench_runs);
+        ("schema", Argus_json.Json.String "argus.bench.pipeline/v3");
+        ("runs", Argus_json.Json.Int !bench_runs);
+        ("warmup", Argus_json.Json.Int !bench_warmup);
+        ("ocaml_version", Argus_json.Json.String Sys.ocaml_version);
+        ("git_commit", Argus_json.Json.String (git_commit ()));
+        ("diesel_lite_median_speedup", Argus_json.Json.Float diesel_speedup);
         ("entries", Argus_json.Json.List entries);
         ("journal", Argus_json.Json.List journal);
+        ("cache", Argus_json.Json.List cache);
       ]
   in
   let oc = open_out "BENCH_pipeline.json" in
@@ -348,8 +465,37 @@ let write_pipeline_doc ~entries ~journal =
     (fun () ->
       output_string oc (Argus_json.Json.to_string_pretty doc);
       output_char oc '\n');
-  Printf.printf "wrote BENCH_pipeline.json (%d entries, %d journal rows)\n"
-    (List.length entries) (List.length journal)
+  Printf.printf "wrote BENCH_pipeline.json (%d entries, %d journal rows, %d cache rows)\n"
+    (List.length entries) (List.length journal) (List.length cache)
+
+(** A section of the existing BENCH_pipeline.json, so partial re-runs
+    ([--journal-only], [--cache-only]) keep the other sections intact. *)
+let existing_section name =
+  try
+    let ic = open_in "BENCH_pipeline.json" in
+    let txt =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Argus_json.Json.member name (Argus_json.Json.of_string txt) with
+    | Some (Argus_json.Json.List es) -> es
+    | _ -> []
+  with Sys_error _ | Argus_json.Json.Parse_error _ -> []
+
+let existing_diesel_speedup () =
+  try
+    let ic = open_in "BENCH_pipeline.json" in
+    let txt =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Argus_json.Json.member "diesel_lite_median_speedup" (Argus_json.Json.of_string txt) with
+    | Some (Argus_json.Json.Float f) -> f
+    | Some (Argus_json.Json.Int i) -> float_of_int i
+    | _ -> 0.0
+  with Sys_error _ | Argus_json.Json.Parse_error _ -> 0.0
 
 (** One benchmark entry per corpus program, across every suite: median
     end-to-end solve time, inference-tree size, and the headline solver
@@ -366,7 +512,7 @@ let bench_pipeline_json () =
   in
   let entry_json suite (e : Corpus.Harness.entry) =
     let program = Corpus.Harness.load e in
-    let ns = time_median ~runs:bench_runs (fun () -> Solver.Obligations.solve_program program) in
+    let ns = time_median (fun () -> Solver.Obligations.solve_program program) in
     (* a separate counted run, so the timed runs above stay untelemetered *)
     Telemetry.reset ();
     Telemetry.enable ();
@@ -394,34 +540,47 @@ let bench_pipeline_json () =
   in
   print_endline "journal overhead (17-program suite):";
   let journal = bench_journal_entries () in
-  write_pipeline_doc ~entries ~journal
+  print_endline "evaluation cache on/off (17-program suite):";
+  let cache, diesel_speedup = bench_cache_entries () in
+  write_pipeline_doc ~entries ~journal ~cache ~diesel_speedup
 
-(** Re-measure only the journal section, keeping the existing pipeline
-    entries in BENCH_pipeline.json (if any) intact. *)
+(** Re-measure only the journal section, keeping the other sections of
+    BENCH_pipeline.json (if any) intact. *)
 let bench_journal_json () =
   section "Journal overhead benchmark (BENCH_pipeline.json, journal section)";
   let journal = bench_journal_entries () in
-  let entries =
-    try
-      let ic = open_in "BENCH_pipeline.json" in
-      let txt =
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      match Argus_json.Json.member "entries" (Argus_json.Json.of_string txt) with
-      | Some (Argus_json.Json.List es) -> es
-      | _ -> []
-    with Sys_error _ | Argus_json.Json.Parse_error _ -> []
-  in
-  write_pipeline_doc ~entries ~journal
+  write_pipeline_doc ~entries:(existing_section "entries") ~journal
+    ~cache:(existing_section "cache") ~diesel_speedup:(existing_diesel_speedup ())
+
+(** Re-measure only the cache section, keeping the other sections of
+    BENCH_pipeline.json (if any) intact. *)
+let bench_cache_json () =
+  section "Evaluation-cache benchmark (BENCH_pipeline.json, cache section)";
+  let cache, diesel_speedup = bench_cache_entries () in
+  write_pipeline_doc ~entries:(existing_section "entries")
+    ~journal:(existing_section "journal") ~cache ~diesel_speedup
 
 (* ------------------------------------------------------------------ *)
 
 let () =
+  let argv = Sys.argv in
+  Array.iteri
+    (fun i a ->
+      let next_int () =
+        if i + 1 < Array.length argv then int_of_string_opt argv.(i + 1) else None
+      in
+      match a with
+      | "--runs" -> (
+          match next_int () with Some n when n > 0 -> bench_runs := n | _ -> ())
+      | "--warmup" -> (
+          match next_int () with Some n when n >= 0 -> bench_warmup := n | _ -> ())
+      | _ -> ())
+    argv;
   let json_only = Array.exists (( = ) "--json-only") Sys.argv in
   let journal_only = Array.exists (( = ) "--journal-only") Sys.argv in
+  let cache_only = Array.exists (( = ) "--cache-only") Sys.argv in
   if journal_only then bench_journal_json ()
+  else if cache_only then bench_cache_json ()
   else if json_only then bench_pipeline_json ()
   else begin
     print_endline "Argus-ML benchmark harness — regenerating every paper table/figure";

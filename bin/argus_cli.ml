@@ -79,7 +79,17 @@ let events_out_arg =
            file is opened and its header written before solving starts, so it \
            is well-formed even if the run aborts.")
 
-let telemetry_setup profile trace_out events_out =
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the solver's evaluation cache (hash-consed canonical-goal \
+           memoization). Every goal is re-evaluated from scratch; useful for \
+           timing comparisons and for isolating cache-related behavior.")
+
+let telemetry_setup profile trace_out events_out no_cache =
+  if no_cache then Solver.Eval_cache.set_enabled false;
   (match events_out with
   | None -> ()
   | Some path -> (
@@ -121,7 +131,7 @@ let telemetry_setup profile trace_out events_out =
   end
 
 let telemetry_term =
-  Term.(const telemetry_setup $ profile_arg $ trace_out_arg $ events_out_arg)
+  Term.(const telemetry_setup $ profile_arg $ trace_out_arg $ events_out_arg $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments *)
@@ -794,7 +804,7 @@ let interactive_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let version = "1.2.0"
+let version = "1.3.0"
 
 (* With no subcommand: honour -V (short for the auto-generated
    --version), otherwise show the help page. *)

@@ -71,6 +71,11 @@ type event =
   | Probe_begin of { origin : string; alternatives : int }
   | Probe_end of { committed : int option }
   | Overlap_detected of { trait_ : Path.t; impl_a : int; impl_b : int; witness : Ty.t }
+  | Cache_hit of { goal : int; tier : string }
+      (** the evaluation cache answered goal [goal] from tier ["tree"] or
+          ["result"]; with a journal recording the goal is still
+          evaluated (observe-only), so structural events are unchanged *)
+  | Cache_miss of { goal : int; tier : string }
 
 type entry = { seq : int; ts_ns : int; ev : event }
 
@@ -97,6 +102,14 @@ val unmute : unit -> unit
 (** Allocate the next stable node ID.  Unconditional, so trace nodes
     carry IDs even without a sink. *)
 val fresh_id : unit -> int
+
+(** The ID the next {!fresh_id} call would return, without allocating. *)
+val peek_id : unit -> int
+
+(** Advance the ID counter by [n] without emitting anything — the
+    evaluation cache reserves the ID range a replayed memoized subtree
+    occupies, keeping later IDs identical to a cache-off run. *)
+val bump_ids : int -> unit
 
 (** The innermost open goal/candidate node, per the emitted structural
     events. *)

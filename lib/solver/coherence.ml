@@ -165,17 +165,52 @@ let check_impl_wf ?(cfg = Solve.default_config) (program : Program.t) : wf_failu
                       let st =
                         Solve.create ~cfg ~env:impl.impl_generics.where_clauses program
                       in
-                      let node =
-                        Solve.solve st
-                          ~origin:
-                            (Printf.sprintf "the `type %s` binding in this impl"
-                               assoc.assoc_name)
-                          ~span:impl.impl_span pred
+                      (* Result-tier fast path: bounds already proved under
+                         this (program, where-clause) context skip the
+                         tree-building solve entirely; anything else — a
+                         miss, a cached failure, or a journal recording
+                         (observe-only) — re-derives the full tree, which a
+                         failure keeps as [wf_tree]. *)
+                      let key =
+                        if cfg.Solve.enable_cache && Eval_cache.enabled () then
+                          Some
+                            (Eval_cache.result_key st.Solve.cache_ctx
+                               (Canonical.canonicalize st.Solve.icx pred))
+                        else None
                       in
-                      if not (Res.is_yes node.result) then
-                        failures :=
-                          { wf_impl = impl; wf_assoc = assoc.assoc_name; wf_bound = bound; wf_tree = node }
-                          :: !failures)
+                      let cached = Option.bind key Eval_cache.find_result in
+                      (match (cached, key) with
+                      | Some _, Some _ ->
+                          Jlog.cache_hit ~goal:(Journal.peek_id ()) ~tier:"result"
+                      | None, Some _ ->
+                          Jlog.cache_miss ~goal:(Journal.peek_id ()) ~tier:"result"
+                      | _, None -> ());
+                      let skip =
+                        (match cached with Some r -> Res.is_yes r | None -> false)
+                        && not (Journal.enabled ())
+                      in
+                      if not skip then begin
+                        let node =
+                          Solve.solve st
+                            ~origin:
+                              (Printf.sprintf "the `type %s` binding in this impl"
+                                 assoc.assoc_name)
+                            ~span:impl.impl_span pred
+                        in
+                        (match (key, cached) with
+                        | Some k, None ->
+                            let clean =
+                              Trace.fold_goals
+                                (fun acc g -> acc && not (Trace.is_overflow g))
+                                true node
+                            in
+                            if clean then Eval_cache.insert_result k node.result
+                        | _ -> ());
+                        if not (Res.is_yes node.result) then
+                          failures :=
+                            { wf_impl = impl; wf_assoc = assoc.assoc_name; wf_bound = bound; wf_tree = node }
+                            :: !failures
+                      end)
                     assoc.assoc_bounds)
             tr.tr_assocs)
     (Program.impls program);

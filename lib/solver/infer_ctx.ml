@@ -22,12 +22,19 @@ type t = {
   mutable table : binding array;
   mutable len : int;
   mutable undo_log : undo list;
+  mutable undo_len : int;  (** [List.length undo_log], maintained *)
   mutable snapshots : int list;  (** undo-log lengths at open snapshots *)
 }
 
 let create ?(first_var = 0) () =
   let n = max 16 (first_var * 2) in
-  { table = Array.make n Unbound; len = first_var; undo_log = []; snapshots = [] }
+  {
+    table = Array.make n Unbound;
+    len = first_var;
+    undo_log = [];
+    undo_len = 0;
+    snapshots = [];
+  }
 
 (** Create a context whose fresh variables start above every inference
     variable mentioned in the program's goals (the parser numbers [_]
@@ -72,7 +79,7 @@ let snap_serial = ref 0
 
 let snapshot t : snapshot =
   Telemetry.incr c_snapshots;
-  let mark = List.length t.undo_log in
+  let mark = t.undo_len in
   t.snapshots <- mark :: t.snapshots;
   incr snap_serial;
   let serial = !snap_serial in
@@ -89,7 +96,8 @@ let rollback_to t ({ mark; serial } : snapshot) =
         pop rest (n - 1)
     | [] -> []
   in
-  t.undo_log <- pop t.undo_log (List.length t.undo_log);
+  t.undo_log <- pop t.undo_log t.undo_len;
+  t.undo_len <- min t.undo_len mark;
   t.snapshots <- List.filter (fun m -> m < mark) t.snapshots
 
 (** Commit: simply forget the snapshot; bindings stay. *)
@@ -113,15 +121,57 @@ let bind t i ty =
   let r = root t i in
   assert (t.table.(r) = Unbound);
   t.table.(r) <- Bound ty;
-  t.undo_log <- Set r :: t.undo_log
+  t.undo_log <- Set r :: t.undo_log;
+  t.undo_len <- t.undo_len + 1
 
 let link t i j =
   let ri = root t i and rj = root t j in
   if ri <> rj then begin
     assert (t.table.(ri) = Unbound);
     t.table.(ri) <- Link rj;
-    t.undo_log <- Set ri :: t.undo_log
+    t.undo_log <- Set ri :: t.undo_log;
+    t.undo_len <- t.undo_len + 1
   end
+
+(* --- raw slot access (evaluation-cache replay) ----------------------- *)
+
+(* The evaluation cache replicates the exact table state a memoized
+   evaluation would have produced: it captures the slots of the variable
+   range the evaluation allocated and, on a hit, re-allocates the range
+   and writes the (renumbered) slots back, undo-logged like any binding
+   so enclosing snapshots roll them back correctly. *)
+
+let alloc_vars t n =
+  let first = t.len in
+  for _ = 1 to n do
+    ignore (fresh t)
+  done;
+  first
+
+let slot t i =
+  ensure_capacity t i;
+  t.table.(i)
+
+let set_slot t i (b : binding) =
+  match b with
+  | Unbound -> ()
+  | Link _ | Bound _ ->
+      ensure_capacity t i;
+      assert (t.table.(i) = Unbound);
+      t.table.(i) <- b;
+      t.undo_log <- Set i :: t.undo_log;
+      t.undo_len <- t.undo_len + 1
+
+let undo_mark t = t.undo_len
+
+(** Variables set (and not since rolled back) after undo mark [mark],
+    oldest first. *)
+let sets_since t mark =
+  let rec go acc log n =
+    if n <= mark then acc
+    else match log with Set i :: rest -> go (i :: acc) rest (n - 1) | [] -> acc
+  in
+  go [] t.undo_log t.undo_len
 
 (** Structurally resolve a type: replace every bound inference variable by
     its (recursively resolved) value. *)

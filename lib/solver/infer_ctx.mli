@@ -4,6 +4,10 @@
 
 open Trait_lang
 
+(** The state of one table slot.  Exposed for the evaluation cache, which
+    captures and replays slot ranges verbatim. *)
+type binding = Unbound | Link of int | Bound of Ty.t
+
 type t
 
 val create : ?first_var:int -> unit -> t
@@ -55,3 +59,27 @@ val resolve_predicate : t -> Predicate.t -> Predicate.t
 (** Instantiate a declaration's generics with fresh inference variables,
     as a substitution. *)
 val instantiate_generics : t -> Decl.generics -> Subst.t
+
+(** {1 Raw slot access (evaluation-cache replay)}
+
+    The evaluation cache replays a memoized evaluation by re-allocating
+    the variable range it consumed and writing back the captured slots,
+    renumbered; everything is undo-logged, so enclosing snapshots roll
+    replayed bindings back exactly like real ones. *)
+
+(** Allocate [n] fresh variables; returns the first index. *)
+val alloc_vars : t -> int -> int
+
+(** The raw slot of variable [i] (no link-following). *)
+val slot : t -> int -> binding
+
+(** Write a slot.  The slot must currently be [Unbound]; writing
+    [Unbound] is a no-op.  Undo-logged. *)
+val set_slot : t -> int -> binding -> unit
+
+(** Current undo-log position, for {!sets_since}. *)
+val undo_mark : t -> int
+
+(** Variables set (and not since rolled back) after [mark], oldest
+    first. *)
+val sets_since : t -> int -> int list

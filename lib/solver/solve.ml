@@ -43,15 +43,17 @@ let sp_root = Telemetry.span "solver.solve"
 type config = {
   depth_limit : int;  (** recursion limit; rustc's default is 128 *)
   enable_builtins : bool;  (** built-in [Fn]/[Sized] candidates *)
+  enable_cache : bool;  (** consult/populate the {!Eval_cache} *)
 }
 
-let default_config = { depth_limit = 48; enable_builtins = true }
+let default_config = { depth_limit = 48; enable_builtins = true; enable_cache = true }
 
 type t = {
   program : Program.t;
   icx : Infer_ctx.t;
   cfg : config;
   env : Predicate.t list;  (** in-scope where-clauses, supertrait-elaborated *)
+  cache_ctx : Eval_cache.ctx;  (** evaluation-cache key context *)
   mutable stack : Predicate.t list;  (** in-progress predicates, for cycles *)
 }
 
@@ -97,17 +99,20 @@ let elaborate_env program (env : Predicate.t list) : Predicate.t list =
   List.iter add env;
   List.rev !out
 
+(* The cache context interns the elaborated env; the solver keeps the
+   interned list so env candidates and cache keys share structure. *)
+let make_state program icx cfg env =
+  let cache_ctx =
+    Eval_cache.make_ctx ~stamp:(Program.stamp program) ~builtins:cfg.enable_builtins
+      ~depth_limit:cfg.depth_limit (elaborate_env program env)
+  in
+  { program; icx; cfg; env = Eval_cache.ctx_env cache_ctx; cache_ctx; stack = [] }
+
 let create ?(cfg = default_config) ?(env = []) program =
-  {
-    program;
-    icx = Infer_ctx.for_program program;
-    cfg;
-    env = elaborate_env program env;
-    stack = [];
-  }
+  make_state program (Infer_ctx.for_program program) cfg env
 
 let with_icx ?(cfg = default_config) ?(env = []) program icx =
-  { program; icx; cfg; env = elaborate_env program env; stack = [] }
+  make_state program icx cfg env
 
 (* ------------------------------------------------------------------ *)
 (* Helpers *)
@@ -153,31 +158,60 @@ let rec solve_goal st ~depth prov (pred0 : Predicate.t) : Trace.goal_node =
       leaf ~gid ~depth ~prov ~flags:[ Trace.Overflow ] pred Res.No
     end
     else begin
-      st.stack <- pred :: st.stack;
-      let node =
-        match pred with
-        | Predicate.Trait tp -> solve_trait st ~gid ~depth ~prov pred tp
-        | Predicate.Projection pp -> solve_projection st ~gid ~depth ~prov pred pp
-        | Predicate.TypeOutlives (ty, _) ->
-            leaf ~gid ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
-        | Predicate.RegionOutlives _ -> leaf ~gid ~depth ~prov pred Res.Yes
-        | Predicate.WellFormed ty ->
-            leaf ~gid ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
-        | Predicate.ObjectSafe _ | Predicate.ConstEvaluatable _ ->
-            leaf ~gid ~depth ~prov pred Res.Yes
-        | Predicate.NormalizesTo (proj, var) ->
-            let n = normalize_proj st ~id:gid ~depth ~prov proj in
-            (match n.norm_ty with
-            | Some ty when Res.is_yes n.norm_node.result ->
-                (* capture the value into the output variable *)
-                (match Unify.unify st.icx (Ty.Infer var) ty with
-                | Ok () -> ()
-                | Error _ -> ())
-            | _ -> ());
-            { n.norm_node with provenance = prov; flags = Trace.Stateful :: n.norm_node.flags }
+      let evaluate () =
+        st.stack <- pred :: st.stack;
+        let node =
+          match pred with
+          | Predicate.Trait tp -> solve_trait st ~gid ~depth ~prov pred tp
+          | Predicate.Projection pp -> solve_projection st ~gid ~depth ~prov pred pp
+          | Predicate.TypeOutlives (ty, _) ->
+              leaf ~gid ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
+          | Predicate.RegionOutlives _ -> leaf ~gid ~depth ~prov pred Res.Yes
+          | Predicate.WellFormed ty ->
+              leaf ~gid ~depth ~prov pred (if Ty.has_infer ty then Res.Maybe else Res.Yes)
+          | Predicate.ObjectSafe _ | Predicate.ConstEvaluatable _ ->
+              leaf ~gid ~depth ~prov pred Res.Yes
+          | Predicate.NormalizesTo (proj, var) ->
+              let n = normalize_proj st ~id:gid ~depth ~prov proj in
+              (match n.norm_ty with
+              | Some ty when Res.is_yes n.norm_node.result ->
+                  (* capture the value into the output variable *)
+                  (match Unify.unify st.icx (Ty.Infer var) ty with
+                  | Ok () -> ()
+                  | Error _ -> ())
+              | _ -> ());
+              { n.norm_node with provenance = prov; flags = Trace.Stateful :: n.norm_node.flags }
+        in
+        st.stack <- List.tl st.stack;
+        node
       in
-      st.stack <- List.tl st.stack;
-      node
+      let cacheable =
+        st.cfg.enable_cache && Eval_cache.enabled ()
+        &&
+        match pred with
+        | Predicate.Trait _ | Predicate.Projection _ -> not (Predicate.has_infer pred)
+        | _ -> false
+      in
+      if not cacheable then evaluate ()
+      else begin
+        let key = Eval_cache.tree_key st.cache_ctx pred in
+        match Eval_cache.find_tree key ~depth ~stack:st.stack with
+        | Some entry ->
+            Jlog.cache_hit ~goal:gid ~tier:"tree";
+            (* With a journal recording, never short-circuit: the stream
+               must contain the same structural events as a cache-off
+               run.  (Muted commit re-runs do replay — they emit nothing
+               and replay consumes the same IDs/variables/bindings as
+               re-evaluation.) *)
+            if Journal.enabled () then evaluate ()
+            else Eval_cache.replay st.icx ~gid ~depth ~prov entry
+        | None ->
+            Jlog.cache_miss ~goal:gid ~tier:"tree";
+            let frame = Eval_cache.open_frame st.icx ~key ~gid ~depth in
+            let node = evaluate () in
+            Eval_cache.try_insert st.icx frame node;
+            node
+      end
     end
   in
   (* the exit event is authoritative for replay: a [NormalizesTo] node's
@@ -852,6 +886,34 @@ let solve st ?(origin = "this expression") ?(span = Span.dummy) pred =
   let node = solve_goal st ~depth:0 (Trace.Root { origin; span }) pred in
   Telemetry.end_ sp_root tok;
   node
+
+(** Evaluate a predicate for its verdict only, through the result tier
+    of the evaluation cache.  Contract: [st] must be quiescent — empty
+    evaluation stack, and an inference context whose unresolved
+    variables are unconstrained (a freshly created solver qualifies) —
+    since a cached verdict stands for evaluation from exactly that
+    state.  Coherence well-formedness checks and speculative probes
+    consume this; callers needing the proof tree use {!solve}. *)
+let evaluate st ?(origin = "evaluate") ?(span = Span.dummy) pred : Res.t =
+  assert (st.stack = []);
+  let run_full () = (solve st ~origin ~span pred).result in
+  if not (st.cfg.enable_cache && Eval_cache.enabled ()) then run_full ()
+  else begin
+    let key = Eval_cache.result_key st.cache_ctx (Canonical.canonicalize st.icx pred) in
+    match Eval_cache.find_result key with
+    | Some r ->
+        Jlog.cache_hit ~goal:(Journal.peek_id ()) ~tier:"result";
+        (* observe-only under a journal, as in [solve_goal] *)
+        if Journal.enabled () then run_full () else r
+    | None ->
+        Jlog.cache_miss ~goal:(Journal.peek_id ()) ~tier:"result";
+        let node = solve st ~origin ~span pred in
+        let clean =
+          Trace.fold_goals (fun acc g -> acc && not (Trace.is_overflow g)) true node
+        in
+        if clean then Eval_cache.insert_result key node.result;
+        node.result
+  end
 
 (** Speculative probing (§4): method resolution asks the solver a
     sequence of *soft* predicates — "does the receiver implement

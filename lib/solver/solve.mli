@@ -13,6 +13,7 @@ open Trait_lang
 type config = {
   depth_limit : int;  (** recursion limit; rustc defaults to 128 *)
   enable_builtins : bool;  (** built-in [Fn]/[Sized]/tuple candidates *)
+  enable_cache : bool;  (** consult/populate the {!Eval_cache} *)
 }
 
 val default_config : config
@@ -22,6 +23,7 @@ type t = {
   icx : Infer_ctx.t;
   cfg : config;
   env : Predicate.t list;  (** in-scope where-clauses, supertrait-elaborated *)
+  cache_ctx : Eval_cache.ctx;  (** evaluation-cache key context *)
   mutable stack : Predicate.t list;  (** in-progress predicates, for cycles *)
 }
 
@@ -36,6 +38,11 @@ val with_icx : ?cfg:config -> ?env:Predicate.t list -> Program.t -> Infer_ctx.t 
 (** Solve a single predicate as a root goal.  Bindings made by committed
     candidates persist in [t]'s inference context. *)
 val solve : t -> ?origin:string -> ?span:Span.t -> Predicate.t -> Trace.goal_node
+
+(** Evaluate a predicate for its verdict only, through the result tier
+    of the evaluation cache.  Contract: empty evaluation stack and an
+    unconstrained inference context (a fresh solver qualifies). *)
+val evaluate : t -> ?origin:string -> ?span:Span.t -> Predicate.t -> Res.t
 
 (** Speculative probing (§4): evaluate soft alternatives in order,
     committing the first success; earlier failures are flagged

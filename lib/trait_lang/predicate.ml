@@ -44,6 +44,8 @@ let is_user_visible = function
 let is_stateful = function NormalizesTo _ -> true | _ -> false
 
 let equal a b =
+  a == b
+  ||
   match (a, b) with
   | Trait a, Trait b -> Ty.equal a.self_ty b.self_ty && Ty.equal_trait_ref a.trait_ref b.trait_ref
   | Projection a, Projection b ->

@@ -13,6 +13,7 @@ type goal = {
 }
 
 type t = {
+  stamp : int;  (** identity token; see {!stamp} *)
   types : Decl.tydecl list;
   traits : Decl.trdecl list;
   impls : Decl.impl list;
@@ -25,8 +26,21 @@ type t = {
   impls_by_trait : Decl.impl list Path.Map.t;
 }
 
+(* Every declaration-changing operation takes a fresh stamp, so two
+   programs with the same stamp have identical contexts (the converse
+   need not hold).  The solver's global evaluation cache keys on the
+   stamp to keep entries from leaking between programs.  Goal edits keep
+   the stamp: goals are inputs to the solver, not part of the context it
+   searches. *)
+let stamp_counter = ref 0
+
+let fresh_stamp () =
+  incr stamp_counter;
+  !stamp_counter
+
 let empty =
   {
+    stamp = 0;
     types = [];
     traits = [];
     impls = [];
@@ -38,12 +52,15 @@ let empty =
     impls_by_trait = Path.Map.empty;
   }
 
+let stamp p = p.stamp
+
 exception Duplicate_decl of Path.t
 
 let add_type (d : Decl.tydecl) p =
   if Path.Map.mem d.ty_path p.types_by_path then raise (Duplicate_decl d.ty_path);
   {
     p with
+    stamp = fresh_stamp ();
     types = d :: p.types;
     types_by_path = Path.Map.add d.ty_path d p.types_by_path;
   }
@@ -52,19 +69,26 @@ let add_trait (d : Decl.trdecl) p =
   if Path.Map.mem d.tr_path p.traits_by_path then raise (Duplicate_decl d.tr_path);
   {
     p with
+    stamp = fresh_stamp ();
     traits = d :: p.traits;
     traits_by_path = Path.Map.add d.tr_path d p.traits_by_path;
   }
 
 let add_fn (d : Decl.fndecl) p =
   if Path.Map.mem d.fn_path p.fns_by_path then raise (Duplicate_decl d.fn_path);
-  { p with fns = d :: p.fns; fns_by_path = Path.Map.add d.fn_path d p.fns_by_path }
+  {
+    p with
+    stamp = fresh_stamp ();
+    fns = d :: p.fns;
+    fns_by_path = Path.Map.add d.fn_path d p.fns_by_path;
+  }
 
 let add_impl (d : Decl.impl) p =
   let key = d.impl_trait.trait in
   let existing = Option.value ~default:[] (Path.Map.find_opt key p.impls_by_trait) in
   {
     p with
+    stamp = fresh_stamp ();
     impls = d :: p.impls;
     impls_by_trait = Path.Map.add key (existing @ [ d ]) p.impls_by_trait;
   }

@@ -48,3 +48,10 @@ val resolve_name :
   t -> string -> (Path.t, [ `Not_found of string | `Ambiguous of string * Path.t list ]) result
 
 val decl_count : t -> int
+
+(** An identity token for the program's declaration context: every
+    [add_type]/[add_trait]/[add_fn]/[add_impl] yields a fresh stamp, so
+    equal stamps imply identical contexts.  Goal edits ([add_goal],
+    [with_goals]) preserve it.  The solver's global evaluation cache keys
+    on this. *)
+val stamp : t -> int

@@ -29,42 +29,98 @@ let region_subst s = function
   | Region.Named n as r -> Option.value ~default:r (find_region n s)
   | r -> r
 
+(* Application preserves sharing: every function below returns its input
+   physically unchanged when the substitution is empty or binds nothing
+   occurring in the term, and rebuilds only the spine above actual
+   changes otherwise.  The unify path substitutes against mostly-ground
+   terms constantly, so the unchanged case is the common one; returning
+   the original allocation keeps interned terms canonical and lets the
+   [==] fast path in {!Ty.equal} keep firing downstream. *)
+
+let map_sharing f l =
+  let changed = ref false in
+  let l' =
+    List.map
+      (fun x ->
+        let y = f x in
+        if y != x then changed := true;
+        y)
+      l
+  in
+  if !changed then l' else l
+
 let rec ty s (t : Ty.t) : Ty.t =
   match t with
   | Unit | Bool | Int | Uint | Float | Str | Infer _ -> t
   | Param name -> Option.value ~default:t (find_ty name s)
-  | Ref (r, t') -> Ref (region_subst s r, ty s t')
-  | RefMut (r, t') -> RefMut (region_subst s r, ty s t')
-  | Ctor (p, args) -> Ctor (p, List.map (arg s) args)
-  | Tuple ts -> Tuple (List.map (ty s) ts)
-  | FnPtr (args, ret) -> FnPtr (List.map (ty s) args, ty s ret)
-  | FnItem (p, args, ret) -> FnItem (p, List.map (ty s) args, ty s ret)
-  | Dynamic tr -> Dynamic (trait_ref s tr)
-  | Proj p -> Proj (projection s p)
+  | Ref (r, t') ->
+      let r' = region_subst s r and t2 = ty s t' in
+      if r' == r && t2 == t' then t else Ref (r', t2)
+  | RefMut (r, t') ->
+      let r' = region_subst s r and t2 = ty s t' in
+      if r' == r && t2 == t' then t else RefMut (r', t2)
+  | Ctor (p, args) ->
+      let args' = map_sharing (arg s) args in
+      if args' == args then t else Ctor (p, args')
+  | Tuple ts ->
+      let ts' = map_sharing (ty s) ts in
+      if ts' == ts then t else Tuple ts'
+  | FnPtr (args, ret) ->
+      let args' = map_sharing (ty s) args and ret' = ty s ret in
+      if args' == args && ret' == ret then t else FnPtr (args', ret')
+  | FnItem (p, args, ret) ->
+      let args' = map_sharing (ty s) args and ret' = ty s ret in
+      if args' == args && ret' == ret then t else FnItem (p, args', ret')
+  | Dynamic tr ->
+      let tr' = trait_ref s tr in
+      if tr' == tr then t else Dynamic tr'
+  | Proj p ->
+      let p' = projection s p in
+      if p' == p then t else Proj p'
 
-and arg s : Ty.arg -> Ty.arg = function
-  | Ty t -> Ty (ty s t)
-  | Lifetime r -> Lifetime (region_subst s r)
+and arg s (a : Ty.arg) : Ty.arg =
+  match a with
+  | Ty t ->
+      let t' = ty s t in
+      if t' == t then a else Ty t'
+  | Lifetime r ->
+      let r' = region_subst s r in
+      if r' == r then a else Lifetime r'
 
 and trait_ref s (tr : Ty.trait_ref) : Ty.trait_ref =
-  { tr with args = List.map (arg s) tr.args }
+  let args' = map_sharing (arg s) tr.args in
+  if args' == tr.args then tr else { tr with args = args' }
 
 and projection s (p : Ty.projection) : Ty.projection =
-  {
-    p with
-    self_ty = ty s p.self_ty;
-    proj_trait = trait_ref s p.proj_trait;
-    assoc_args = List.map (arg s) p.assoc_args;
-  }
+  let self_ty' = ty s p.self_ty
+  and proj_trait' = trait_ref s p.proj_trait
+  and assoc_args' = map_sharing (arg s) p.assoc_args in
+  if self_ty' == p.self_ty && proj_trait' == p.proj_trait && assoc_args' == p.assoc_args
+  then p
+  else { p with self_ty = self_ty'; proj_trait = proj_trait'; assoc_args = assoc_args' }
 
 let predicate s (p : Predicate.t) : Predicate.t =
-  match p with
-  | Trait { self_ty; trait_ref = tr } ->
-      Trait { self_ty = ty s self_ty; trait_ref = trait_ref s tr }
-  | Projection { projection = pr; term } ->
-      Projection { projection = projection s pr; term = ty s term }
-  | TypeOutlives (t, r) -> TypeOutlives (ty s t, region_subst s r)
-  | RegionOutlives (a, b) -> RegionOutlives (region_subst s a, region_subst s b)
-  | WellFormed t -> WellFormed (ty s t)
-  | ObjectSafe _ | ConstEvaluatable _ -> p
-  | NormalizesTo (pr, v) -> NormalizesTo (projection s pr, v)
+  if is_empty s then p
+  else
+    match p with
+    | Trait { self_ty; trait_ref = tr } ->
+        let self_ty' = ty s self_ty and tr' = trait_ref s tr in
+        if self_ty' == self_ty && tr' == tr then p
+        else Trait { self_ty = self_ty'; trait_ref = tr' }
+    | Projection { projection = pr; term } ->
+        let pr' = projection s pr and term' = ty s term in
+        if pr' == pr && term' == term then p
+        else Projection { projection = pr'; term = term' }
+    | TypeOutlives (t, r) ->
+        let t' = ty s t and r' = region_subst s r in
+        if t' == t && r' == r then p else TypeOutlives (t', r')
+    | RegionOutlives (a, b) ->
+        let a' = region_subst s a and b' = region_subst s b in
+        if a' == a && b' == b then p else RegionOutlives (a', b')
+    | WellFormed t ->
+        let t' = ty s t in
+        if t' == t then p else WellFormed t'
+    | ObjectSafe _ | ConstEvaluatable _ -> p
+    | NormalizesTo (pr, v) ->
+        let pr' = projection s pr in
+        if pr' == pr then p else NormalizesTo (pr', v)

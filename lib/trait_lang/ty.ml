@@ -75,9 +75,14 @@ let projection ?(assoc_args = []) self_ty proj_trait assoc =
   { self_ty; proj_trait; assoc; assoc_args }
 
 (* ------------------------------------------------------------------ *)
-(* Structural equality (no unification; inference vars compare by id). *)
+(* Structural equality (no unification; inference vars compare by id).
+   Physical equality short-circuits every case: interned terms
+   ({!Interner}) are maximally shared, so on the hot solver paths the
+   deep walk below rarely runs. *)
 
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Unit, Unit | Bool, Bool | Int, Int | Uint, Uint | Float, Float | Str, Str -> true
   | Param a, Param b -> String.equal a b
@@ -97,20 +102,25 @@ let rec equal a b =
   | _ -> false
 
 and equal_arg a b =
+  a == b
+  ||
   match (a, b) with
   | Ty a, Ty b -> equal a b
   | Lifetime a, Lifetime b -> Region.equal a b
   | _ -> false
 
-and equal_args a b = List.length a = List.length b && List.for_all2 equal_arg a b
+and equal_args a b =
+  a == b || (List.length a = List.length b && List.for_all2 equal_arg a b)
 
-and equal_trait_ref a b = Path.equal a.trait b.trait && equal_args a.args b.args
+and equal_trait_ref a b =
+  a == b || (Path.equal a.trait b.trait && equal_args a.args b.args)
 
 and equal_projection a b =
-  equal a.self_ty b.self_ty
-  && equal_trait_ref a.proj_trait b.proj_trait
-  && String.equal a.assoc b.assoc
-  && equal_args a.assoc_args b.assoc_args
+  a == b
+  || equal a.self_ty b.self_ty
+     && equal_trait_ref a.proj_trait b.proj_trait
+     && String.equal a.assoc b.assoc
+     && equal_args a.assoc_args b.assoc_args
 
 let compare = Stdlib.compare
 

@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-json bench-journal perf ci clean
+.PHONY: build test bench bench-json bench-journal bench-parallel perf ci clean
 
 build:
 	dune build @all
@@ -20,19 +20,29 @@ bench-json:
 bench-journal:
 	dune exec bench/main.exe -- --journal-only
 
-# Re-measure only the evaluation-cache on/off comparison (the headline
-# speedup numbers; see docs/PERFORMANCE.md), preserving the other
+# Re-measure only the parallel batch section (corpus wall-clock at
+# jobs 1/2/4/8 + shared-cache hit rate), preserving the other
 # BENCH_pipeline.json sections.
+bench-parallel:
+	dune exec bench/main.exe -- --parallel-only
+
+# Re-measure the performance sections — the evaluation-cache on/off
+# comparison and the parallel batch curves (see docs/PERFORMANCE.md) —
+# preserving the other BENCH_pipeline.json sections.
 perf:
 	dune exec bench/main.exe -- --cache-only
+	dune exec bench/main.exe -- --parallel-only
 
-# What CI runs: full build, full test suite, and the bench smoke that
+# What CI runs: full build, full test suite, a parallel corpus smoke
+# (all bundled programs at --jobs 4), and the bench smoke that
 # regenerates BENCH_pipeline.json (1 timed run, 1 warmup — correctness
 # of the harness, not statistics).
 ci:
 	dune build @all
 	dune runtest
+	dune exec bin/argus_cli.exe -- corpus --all --jobs 4
 	dune exec bench/main.exe -- --json-only --runs 1 --warmup 1
+	dune exec bench/main.exe -- --parallel-only --runs 1 --warmup 1
 
 clean:
 	dune clean

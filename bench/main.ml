@@ -444,11 +444,99 @@ let bench_cache_entries () =
   Printf.printf "  diesel_lite median speedup: %.2fx\n" diesel_median;
   (List.map (fun (_, _, row) -> row) rows, diesel_median)
 
-let write_pipeline_doc ~entries ~journal ~cache ~diesel_speedup =
+(** Parallel batch solving over the 17-program suite: corpus wall-clock
+    at jobs ∈ {1, 2, 4, 8} (cache off, so the curve measures work
+    distribution, not memoization), speedup vs the sequential run, plus
+    the shared-cache hit rate of a cache-on [--jobs 4] batch.
+
+    Each work unit is load + solve.  The pool is created outside the
+    timed region: the batch driver services many requests per pool
+    (like the CLI, which spawns its pool once per invocation), so
+    steady-state batch throughput is the quantity of interest — domain
+    spawn cost is a one-time ~ms constant, not a per-batch cost.
+    jobs = 1 is the exact sequential path (no pool, no domains).
+
+    Interpret the curve against [recommended_domains] (recorded in the
+    summary row): with fewer cores than jobs, OCaml's stop-the-world
+    minor collections must synchronize domains that time-share one CPU,
+    and an allocation-heavy batch like this one {e degrades} instead of
+    speeding up.  (A no-allocation workload through the same pool runs
+    at ~1.0x regardless of job count, so the pool machinery itself is
+    not the bottleneck; see docs/PERFORMANCE.md.) *)
+let bench_parallel_entries () =
+  let entries = Corpus.Suite.entries in
+  let n = List.length entries in
+  Printf.printf "  (recommended domain count on this host: %d)\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "  %-8s %12s %9s\n" "jobs" "batch" "speedup";
+  Solver.Eval_cache.set_enabled false;
+  let ns_seq = ref 0.0 in
+  let rows =
+    List.map
+      (fun jobs ->
+        let pool = if jobs = 1 then None else Some (Pool.create ~jobs) in
+        let ns =
+          time_median (fun () -> Corpus.Harness.solve_batch ?pool ~jobs entries)
+        in
+        Option.iter Pool.shutdown pool;
+        if jobs = 1 then ns_seq := ns;
+        let speedup = !ns_seq /. ns in
+        Printf.printf "  %-8d %9.2f us %8.2fx\n" jobs (ns /. 1e3) speedup;
+        Argus_json.Json.Obj
+          [
+            ("jobs", Argus_json.Json.Int jobs);
+            ("programs", Argus_json.Json.Int n);
+            ("ns_batch", Argus_json.Json.Float ns);
+            ("speedup_vs_jobs1", Argus_json.Json.Float speedup);
+          ])
+      [ 1; 2; 4; 8 ]
+  in
+  Solver.Eval_cache.set_enabled true;
+  (* Shared-cache traffic of a cache-on parallel batch: one counted
+     [--jobs 4] run over the sharded cache.  (Stamps are fresh per load,
+     so the hits are each unit's own within-solve reuse — the number to
+     watch is that the rate matches a sequential run's, and that shard
+     contention stays negligible.) *)
+  Solver.Eval_cache.clear ();
+  let pool = Pool.create ~jobs:4 in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  ignore (Corpus.Harness.solve_batch ~pool entries);
+  Telemetry.disable ();
+  Pool.shutdown pool;
+  let hits =
+    Telemetry.counter_value "cache.tree.hits" + Telemetry.counter_value "cache.result.hits"
+  in
+  let misses =
+    Telemetry.counter_value "cache.tree.misses"
+    + Telemetry.counter_value "cache.result.misses"
+  in
+  let contention = Telemetry.counter_value "cache.shard.contention" in
+  let hit_rate =
+    if hits + misses = 0 then 0.0 else float_of_int hits /. float_of_int (hits + misses)
+  in
+  Printf.printf
+    "  cache-on --jobs 4 batch: %d hits, %d misses (%.1f%% hit rate), %d contended locks\n"
+    hits misses (hit_rate *. 100.0) contention;
+  let summary =
+    Argus_json.Json.Obj
+      [
+        ("jobs", Argus_json.Json.Int 4);
+        ("cache_hits", Argus_json.Json.Int hits);
+        ("cache_misses", Argus_json.Json.Int misses);
+        ("hit_rate", Argus_json.Json.Float hit_rate);
+        ("shard_contention", Argus_json.Json.Int contention);
+        ( "recommended_domains",
+          Argus_json.Json.Int (Domain.recommended_domain_count ()) );
+      ]
+  in
+  rows @ [ summary ]
+
+let write_pipeline_doc ~entries ~journal ~cache ~parallel ~diesel_speedup =
   let doc =
     Argus_json.Json.Obj
       [
-        ("schema", Argus_json.Json.String "argus.bench.pipeline/v3");
+        ("schema", Argus_json.Json.String "argus.bench.pipeline/v4");
         ("runs", Argus_json.Json.Int !bench_runs);
         ("warmup", Argus_json.Json.Int !bench_warmup);
         ("ocaml_version", Argus_json.Json.String Sys.ocaml_version);
@@ -457,6 +545,7 @@ let write_pipeline_doc ~entries ~journal ~cache ~diesel_speedup =
         ("entries", Argus_json.Json.List entries);
         ("journal", Argus_json.Json.List journal);
         ("cache", Argus_json.Json.List cache);
+        ("parallel", Argus_json.Json.List parallel);
       ]
   in
   let oc = open_out "BENCH_pipeline.json" in
@@ -465,8 +554,9 @@ let write_pipeline_doc ~entries ~journal ~cache ~diesel_speedup =
     (fun () ->
       output_string oc (Argus_json.Json.to_string_pretty doc);
       output_char oc '\n');
-  Printf.printf "wrote BENCH_pipeline.json (%d entries, %d journal rows, %d cache rows)\n"
-    (List.length entries) (List.length journal) (List.length cache)
+  Printf.printf
+    "wrote BENCH_pipeline.json (%d entries, %d journal rows, %d cache rows, %d parallel rows)\n"
+    (List.length entries) (List.length journal) (List.length cache) (List.length parallel)
 
 (** A section of the existing BENCH_pipeline.json, so partial re-runs
     ([--journal-only], [--cache-only]) keep the other sections intact. *)
@@ -542,7 +632,9 @@ let bench_pipeline_json () =
   let journal = bench_journal_entries () in
   print_endline "evaluation cache on/off (17-program suite):";
   let cache, diesel_speedup = bench_cache_entries () in
-  write_pipeline_doc ~entries ~journal ~cache ~diesel_speedup
+  print_endline "parallel batch solving (17-program suite, cache off):";
+  let parallel = bench_parallel_entries () in
+  write_pipeline_doc ~entries ~journal ~cache ~parallel ~diesel_speedup
 
 (** Re-measure only the journal section, keeping the other sections of
     BENCH_pipeline.json (if any) intact. *)
@@ -550,7 +642,9 @@ let bench_journal_json () =
   section "Journal overhead benchmark (BENCH_pipeline.json, journal section)";
   let journal = bench_journal_entries () in
   write_pipeline_doc ~entries:(existing_section "entries") ~journal
-    ~cache:(existing_section "cache") ~diesel_speedup:(existing_diesel_speedup ())
+    ~cache:(existing_section "cache")
+    ~parallel:(existing_section "parallel")
+    ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the cache section, keeping the other sections of
     BENCH_pipeline.json (if any) intact. *)
@@ -558,7 +652,20 @@ let bench_cache_json () =
   section "Evaluation-cache benchmark (BENCH_pipeline.json, cache section)";
   let cache, diesel_speedup = bench_cache_entries () in
   write_pipeline_doc ~entries:(existing_section "entries")
-    ~journal:(existing_section "journal") ~cache ~diesel_speedup
+    ~journal:(existing_section "journal") ~cache
+    ~parallel:(existing_section "parallel")
+    ~diesel_speedup
+
+(** Re-measure only the parallel section, keeping the other sections of
+    BENCH_pipeline.json (if any) intact. *)
+let bench_parallel_json () =
+  section "Parallel batch benchmark (BENCH_pipeline.json, parallel section)";
+  let parallel = bench_parallel_entries () in
+  write_pipeline_doc ~entries:(existing_section "entries")
+    ~journal:(existing_section "journal")
+    ~cache:(existing_section "cache")
+    ~parallel
+    ~diesel_speedup:(existing_diesel_speedup ())
 
 (* ------------------------------------------------------------------ *)
 
@@ -579,8 +686,10 @@ let () =
   let json_only = Array.exists (( = ) "--json-only") Sys.argv in
   let journal_only = Array.exists (( = ) "--journal-only") Sys.argv in
   let cache_only = Array.exists (( = ) "--cache-only") Sys.argv in
+  let parallel_only = Array.exists (( = ) "--parallel-only") Sys.argv in
   if journal_only then bench_journal_json ()
   else if cache_only then bench_cache_json ()
+  else if parallel_only then bench_parallel_json ()
   else if json_only then bench_pipeline_json ()
   else begin
     print_endline "Argus-ML benchmark harness — regenerating every paper table/figure";

@@ -88,28 +88,32 @@ let no_cache_arg =
            memoization). Every goal is re-evaluated from scratch; useful for \
            timing comparisons and for isolating cache-related behavior.")
 
-let telemetry_setup profile trace_out events_out no_cache =
+(* Open the events file eagerly (header first, so it is well-formed even
+   if the run aborts) and close it at exit, because subcommands
+   terminate through [exit n]. *)
+let open_events_file path =
+  try
+    let oc = open_out path in
+    output_string oc (Argus_json.Journal_codec.header_line ());
+    output_char oc '\n';
+    at_exit (fun () ->
+        Journal.set_sink None;
+        try close_out oc with Sys_error _ -> ());
+    oc
+  with Sys_error m ->
+    prerr_endline ("error: cannot open events file: " ^ m);
+    exit 2
+
+let write_event oc e =
+  output_string oc (Argus_json.Json.to_string (Argus_json.Journal_codec.entry_to_json e));
+  output_char oc '\n'
+
+(* Telemetry/profiling and cache switches, shared by every subcommand.
+   [check] handles --events-out itself (it buffers per-file journal
+   streams and concatenates them deterministically); the single-file
+   subcommands stream straight to the file. *)
+let observability_setup profile trace_out no_cache =
   if no_cache then Solver.Eval_cache.set_enabled false;
-  (match events_out with
-  | None -> ()
-  | Some path -> (
-      try
-        let oc = open_out path in
-        output_string oc (Argus_json.Journal_codec.header_line ());
-        output_char oc '\n';
-        Journal.set_sink
-          (Some
-             (fun e ->
-               output_string oc
-                 (Argus_json.Json.to_string (Argus_json.Journal_codec.entry_to_json e));
-               output_char oc '\n'));
-        (* at_exit, because subcommands terminate through [exit n] *)
-        at_exit (fun () ->
-            Journal.set_sink None;
-            try close_out oc with Sys_error _ -> ())
-      with Sys_error m ->
-        prerr_endline ("error: cannot open events file: " ^ m);
-        exit 2));
   if profile || trace_out <> None then begin
     Telemetry.enable ();
     (* at_exit, because subcommands terminate through [exit n] *)
@@ -130,8 +134,37 @@ let telemetry_setup profile trace_out events_out no_cache =
         if profile then prerr_string (Telemetry.report_to_string sn))
   end
 
+let telemetry_setup profile trace_out events_out no_cache =
+  observability_setup profile trace_out no_cache;
+  match events_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_events_file path in
+      Journal.set_sink (Some (write_event oc))
+
 let telemetry_term =
   Term.(const telemetry_setup $ profile_arg $ trace_out_arg $ events_out_arg $ no_cache_arg)
+
+(* ------------------------------------------------------------------ *)
+(* --jobs *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Solve inputs in parallel on $(docv) worker domains (default: the \
+           machine's recommended domain count). $(b,--jobs 1) is the exact \
+           sequential code path — no domain is ever spawned — and parallel \
+           output is byte-identical to it.")
+
+let resolve_jobs = function
+  | None -> Domain.recommended_domain_count ()
+  | Some n when n >= 1 -> n
+  | Some n ->
+      Printf.eprintf "error: --jobs must be at least 1 (got %d)\n" n;
+      exit 2
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments *)
@@ -167,110 +200,205 @@ let solve_file path =
 (* ------------------------------------------------------------------ *)
 (* check *)
 
-let check_cmd =
-  let run () file no_coherence =
-    let program, report = solve_file file in
-    let issues = ref 0 in
-    (* declaration-level checks first: overlap, orphan rule, impl WF *)
-    if not no_coherence then begin
-      List.iter
-        (fun (o : Solver.Coherence.overlap) ->
-          incr issues;
-          Printf.printf
-            "error[E0119]: conflicting implementations of trait `%s` for type `%s`\n"
-            (Trait_lang.Path.name o.trait_)
-            (Trait_lang.Pretty.ty o.witness))
-        (Solver.Coherence.check program);
-      List.iter
-        (fun (o : Solver.Coherence.orphan) ->
-          incr issues;
-          Printf.printf
-            "error[E0117]: only traits defined in the current crate can be implemented \
-             for arbitrary types (`%s` for `%s` at %s)\n"
-            (Trait_lang.Path.to_string o.o_trait)
-            (Trait_lang.Pretty.ty o.o_self)
-            (Trait_lang.Span.to_string o.o_impl.impl_span))
-        (Solver.Coherence.orphan_violations program);
-      List.iter
-        (fun (f : Solver.Coherence.wf_failure) ->
-          incr issues;
-          Printf.printf
-            "error[E0277]: the associated type binding `%s` does not satisfy `%s` (%s)\n"
-            f.wf_assoc
-            (Trait_lang.Pretty.trait_ref f.wf_bound)
-            (Trait_lang.Span.to_string f.wf_impl.impl_span))
-        (Solver.Coherence.check_impl_wf program)
-    end;
-    let print_goal_report (r : Solver.Obligations.goal_report) =
-      let status =
-        match r.status with
-        | Solver.Obligations.Proved -> "ok"
-        | Solver.Obligations.Disproved -> "ERROR"
-        | Solver.Obligations.Ambiguous -> "AMBIGUOUS"
-      in
-      Printf.printf "[%s] %s\n" status (Trait_lang.Pretty.predicate r.final.pred);
-      if r.status <> Solver.Obligations.Proved then begin
-        incr issues;
-        let tree = Argus.Extract.of_report r in
-        (* report the goal as the solver last saw it (inference holes
-           filled in), not as the source wrote it *)
-        let goal = { r.goal with Trait_lang.Program.goal_pred = r.final.pred } in
-        let diag = Rustc_diag.Diagnostic.of_tree program goal tree in
-        print_newline ();
-        print_string (Rustc_diag.Diagnostic.to_string diag);
-        print_newline ();
-        (* under --profile, also exercise the Argus pipeline (DNF
-           ranking + rendering) so the report covers those phases *)
-        if Telemetry.enabled () then begin
-          ignore (Argus.Inertia.rank tree);
-          ignore (Argus.Render.tree_to_string tree)
-        end
-      end
-    in
-    List.iter print_goal_report report.reports;
-    (* type-check fn bodies: the obligations they generate run through
-       the same machinery *)
-    let tc = Typeck.Infer.check_program program in
-    List.iter
-      (fun (fr : Typeck.Infer.fn_report) ->
-        Printf.printf "fn %s:\n" (Trait_lang.Path.name fr.fr_fn.fn_path);
-        List.iter
-          (fun (e : Typeck.Infer.type_error) ->
-            incr issues;
-            Printf.printf "error[E0308]: %s\n  --> %s\n" e.te_message
-              (Trait_lang.Span.to_string e.te_span))
-          fr.fr_type_errors;
-        List.iter
-          (fun (p : Typeck.Infer.probe) ->
-            if p.p_chosen = None then begin
+(* One file's worth of buffered results: everything the driver needs to
+   reproduce a sequential run's observable output, whatever domain (and
+   in whatever order) the unit actually ran. *)
+type check_unit_result = {
+  u_path : string;
+  u_out : string;  (** buffered stdout *)
+  u_err : string option;  (** load (parse/resolve/IO) failure *)
+  u_issues : int;
+  u_journal : Journal.entry list;  (** ts normalized to 0 *)
+  u_ids : int;  (** journal node IDs consumed (from 0) *)
+  u_snaps : int;  (** snapshot serials consumed (from 0) *)
+}
+
+(* Check one file into a buffer.  Resets the domain-local journal and
+   snapshot state first, so the unit's output — text, proof-tree IDs,
+   journal stream — is a pure function of the file, independent of
+   scheduling.  Never exits: load failures are captured for the driver
+   to report in input order. *)
+let check_unit ~no_coherence ~journal path : check_unit_result =
+  Journal.reset ();
+  Solver.Infer_ctx.reset_snapshot_serial ();
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.bprintf buf fmt in
+  let issues = ref 0 in
+  let check () =
+    match load_program path with
+    | Error m -> Some m
+    | Ok program ->
+        let report = Solver.Obligations.solve_program program in
+        (* declaration-level checks first: overlap, orphan rule, impl WF *)
+        if not no_coherence then begin
+          List.iter
+            (fun (o : Solver.Coherence.overlap) ->
               incr issues;
-              Printf.printf
-                "error[E0599]: no method named `%s` found for `%s`; probed candidates:\n"
-                p.p_method
-                (Trait_lang.Pretty.ty p.p_recv_ty);
-              List.iter
-                (fun tree ->
-                  print_endline
-                    (Argus.Render.tree_to_string ~direction:Argus.View_state.Top_down tree))
-                (Argus.Extract.of_probe p.p_nodes)
-            end)
-          fr.fr_probes;
-        List.iter print_goal_report fr.fr_obligations)
-      tc.fr_fns;
-    if !issues = 0 then exit 0 else exit 1
+              bpf
+                "error[E0119]: conflicting implementations of trait `%s` for type `%s`\n"
+                (Trait_lang.Path.name o.trait_)
+                (Trait_lang.Pretty.ty o.witness))
+            (Solver.Coherence.check program);
+          List.iter
+            (fun (o : Solver.Coherence.orphan) ->
+              incr issues;
+              bpf
+                "error[E0117]: only traits defined in the current crate can be implemented \
+                 for arbitrary types (`%s` for `%s` at %s)\n"
+                (Trait_lang.Path.to_string o.o_trait)
+                (Trait_lang.Pretty.ty o.o_self)
+                (Trait_lang.Span.to_string o.o_impl.impl_span))
+            (Solver.Coherence.orphan_violations program);
+          List.iter
+            (fun (f : Solver.Coherence.wf_failure) ->
+              incr issues;
+              bpf
+                "error[E0277]: the associated type binding `%s` does not satisfy `%s` (%s)\n"
+                f.wf_assoc
+                (Trait_lang.Pretty.trait_ref f.wf_bound)
+                (Trait_lang.Span.to_string f.wf_impl.impl_span))
+            (Solver.Coherence.check_impl_wf program)
+        end;
+        let print_goal_report (r : Solver.Obligations.goal_report) =
+          let status =
+            match r.status with
+            | Solver.Obligations.Proved -> "ok"
+            | Solver.Obligations.Disproved -> "ERROR"
+            | Solver.Obligations.Ambiguous -> "AMBIGUOUS"
+          in
+          bpf "[%s] %s\n" status (Trait_lang.Pretty.predicate r.final.pred);
+          if r.status <> Solver.Obligations.Proved then begin
+            incr issues;
+            let tree = Argus.Extract.of_report r in
+            (* report the goal as the solver last saw it (inference holes
+               filled in), not as the source wrote it *)
+            let goal = { r.goal with Trait_lang.Program.goal_pred = r.final.pred } in
+            let diag = Rustc_diag.Diagnostic.of_tree program goal tree in
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (Rustc_diag.Diagnostic.to_string diag);
+            Buffer.add_char buf '\n';
+            (* under --profile, also exercise the Argus pipeline (DNF
+               ranking + rendering) so the report covers those phases *)
+            if Telemetry.enabled () then begin
+              ignore (Argus.Inertia.rank tree);
+              ignore (Argus.Render.tree_to_string tree)
+            end
+          end
+        in
+        List.iter print_goal_report report.reports;
+        (* type-check fn bodies: the obligations they generate run through
+           the same machinery *)
+        let tc = Typeck.Infer.check_program program in
+        List.iter
+          (fun (fr : Typeck.Infer.fn_report) ->
+            bpf "fn %s:\n" (Trait_lang.Path.name fr.fr_fn.fn_path);
+            List.iter
+              (fun (e : Typeck.Infer.type_error) ->
+                incr issues;
+                bpf "error[E0308]: %s\n  --> %s\n" e.te_message
+                  (Trait_lang.Span.to_string e.te_span))
+              fr.fr_type_errors;
+            List.iter
+              (fun (p : Typeck.Infer.probe) ->
+                if p.p_chosen = None then begin
+                  incr issues;
+                  bpf
+                    "error[E0599]: no method named `%s` found for `%s`; probed candidates:\n"
+                    p.p_method
+                    (Trait_lang.Pretty.ty p.p_recv_ty);
+                  List.iter
+                    (fun tree ->
+                      Buffer.add_string buf
+                        (Argus.Render.tree_to_string ~direction:Argus.View_state.Top_down
+                           tree);
+                      Buffer.add_char buf '\n')
+                    (Argus.Extract.of_probe p.p_nodes)
+                end)
+              fr.fr_probes;
+            List.iter print_goal_report fr.fr_obligations)
+          tc.fr_fns;
+        None
+  in
+  let err, entries =
+    if journal then Journal.with_memory_sink check else (check (), [])
+  in
+  {
+    u_path = path;
+    u_out = Buffer.contents buf;
+    u_err = err;
+    u_issues = !issues;
+    u_journal = List.map (fun (e : Journal.entry) -> { e with Journal.ts_ns = 0 }) entries;
+    u_ids = Journal.peek_id ();
+    u_snaps = Solver.Infer_ctx.snapshot_serial ();
+  }
+
+let check_cmd =
+  let run () events_out files no_coherence jobs =
+    let jobs = resolve_jobs jobs in
+    let events_oc = Option.map open_events_file events_out in
+    let journal = events_oc <> None in
+    (* Never spawn more workers than there are files; one file (or
+       --jobs 1) is the plain sequential path, no domain spawned. *)
+    let jobs = min jobs (List.length files) in
+    let results = Pool.run ~jobs (check_unit ~no_coherence ~journal) files in
+    let many = List.length files > 1 in
+    let any_load_error = ref false in
+    let total_issues = ref 0 in
+    List.iter
+      (fun u ->
+        if many then Printf.printf "== %s ==\n" u.u_path;
+        print_string u.u_out;
+        (match u.u_err with
+        | Some m ->
+            any_load_error := true;
+            prerr_endline ("error: " ^ m)
+        | None -> ());
+        total_issues := !total_issues + u.u_issues)
+      results;
+    (* Concatenate the per-unit journal streams (each recorded from
+       ID 0) into one replayable file: relocate every entry by the IDs
+       and snapshot serials the units before it consumed, in input
+       order.  The result is byte-identical whatever the job count. *)
+    (match events_oc with
+    | None -> ()
+    | Some oc ->
+        let seq = ref 0 and ids = ref 0 and snaps = ref 0 in
+        List.iter
+          (fun u ->
+            List.iter
+              (fun e ->
+                write_event oc (Journal.shift_entry ~seq:!seq ~ids:!ids ~snaps:!snaps e);
+                incr seq)
+              u.u_journal;
+            ids := !ids + u.u_ids;
+            snaps := !snaps + u.u_snaps)
+          results);
+    if !any_load_error then exit 2 else if !total_issues > 0 then exit 1 else exit 0
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"L_TRAIT source files (one or more)")
   in
   let no_coherence =
     Arg.(value & flag & info [ "no-coherence" ] ~doc:"Skip overlap/orphan/WF checks.")
   in
+  let observability_term =
+    Term.(const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg)
+  in
   let exits =
     Cmd.Exit.info 1 ~doc:"on trait-solving or type-checking failures."
-    :: Cmd.Exit.info 2 ~doc:"on parse, name-resolution, or I/O errors in $(i,FILE)."
+    :: Cmd.Exit.info 2
+         ~doc:"on parse, name-resolution, or I/O errors in any $(i,FILE)."
     :: Cmd.Exit.defaults
   in
   Cmd.v
     (Cmd.info "check" ~exits
-       ~doc:"Type-check a file: coherence, orphan rule, impl WF, and all goals")
-    Term.(const run $ telemetry_term $ file_arg $ no_coherence)
+       ~doc:
+         "Type-check files: coherence, orphan rule, impl WF, and all goals. \
+          Multiple files are solved in parallel under $(b,--jobs), with output \
+          in input order.")
+    Term.(const run $ observability_term $ events_out_arg $ files_arg $ no_coherence $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* views *)
@@ -428,10 +556,43 @@ let corpus_cmd =
       (Corpus.Suite.entries @ Corpus.Suite.extended @ Corpus.Suite.extras
              @ Corpus.Suite.extended_ok)
   in
-  let run () id_opt =
-    match id_opt with
-    | None -> list_all ()
-    | Some id -> (
+  (* Solve every bundled program (in parallel under --jobs) and print a
+     one-line verdict per entry, in suite order. *)
+  let run_all jobs =
+    let jobs = resolve_jobs jobs in
+    let entries =
+      Corpus.Suite.entries @ Corpus.Suite.extended @ Corpus.Suite.extras
+      @ Corpus.Suite.extended_ok
+    in
+    let jobs = min jobs (List.length entries) in
+    let results =
+      try Corpus.Harness.solve_batch ~jobs entries
+      with Corpus.Harness.Corpus_error m ->
+        prerr_endline ("error: " ^ m);
+        exit 2
+    in
+    List.iter
+      (fun (b : Corpus.Harness.batch_result) ->
+        let errors = Solver.Obligations.errors b.b_report in
+        let ambiguous =
+          List.filter
+            (fun (r : Solver.Obligations.goal_report) ->
+              r.status = Solver.Obligations.Ambiguous)
+            b.b_report.reports
+        in
+        let verdict =
+          if errors <> [] then Printf.sprintf "%d trait error(s)" (List.length errors)
+          else if ambiguous <> [] then Printf.sprintf "%d ambiguous" (List.length ambiguous)
+          else "ok"
+        in
+        Printf.printf "%-28s %s\n" b.b_entry.id verdict)
+      results
+  in
+  let run () id_opt all jobs =
+    match (id_opt, all) with
+    | _, true -> run_all jobs
+    | None, false -> list_all ()
+    | Some id, false -> (
         match
           List.find_opt
             (fun (e : Corpus.Harness.entry) -> e.id = id)
@@ -460,8 +621,16 @@ let corpus_cmd =
   let id_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"corpus entry id")
   in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Solve every bundled program and print a one-line verdict per \
+             entry, in suite order (parallel under $(b,--jobs)).")
+  in
   Cmd.v (Cmd.info "corpus" ~doc:"List or run the bundled evaluation programs")
-    Term.(const run $ telemetry_term $ id_arg)
+    Term.(const run $ telemetry_term $ id_arg $ all_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* study *)
@@ -804,7 +973,7 @@ let interactive_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let version = "1.3.0"
+let version = "1.4.0"
 
 (* With no subcommand: honour -V (short for the auto-generated
    --version), otherwise show the help page. *)

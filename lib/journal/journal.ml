@@ -106,83 +106,155 @@ type entry = { seq : int; ts_ns : int; ev : event }
 (* ------------------------------------------------------------------ *)
 (* The sink *)
 
-let enabled_flag = ref false
-let sink : (entry -> unit) option ref = ref None
-let seq_counter = ref 0
-let id_counter = ref 0
-let mute_depth = ref 0
+(* The whole journal state is domain-local: each domain records its own
+   stream with its own sequence numbers, node IDs, mute depth, and
+   open-node stack, so parallel batch solving needs no locks and — with
+   the batch driver resetting the state per work unit — produces
+   per-unit streams identical to a sequential run's. *)
+type state = {
+  mutable sink : (entry -> unit) option;
+  mutable enabled : bool;
+  mutable seq_counter : int;
+  mutable id_counter : int;
+  mutable mute_depth : int;
+  mutable open_nodes : int list;
+      (** innermost open goal/candidate node first, maintained by [emit]
+          from the structural enter/exit events; used to attach
+          unification and snapshot events to the node whose evaluation
+          caused them *)
+}
 
-(* The innermost open goal/candidate node, maintained by [emit] from the
-   structural enter/exit events; used to attach unification and snapshot
-   events to the node whose evaluation caused them. *)
-let open_nodes : int list ref = ref []
+let dls_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sink = None;
+        enabled = false;
+        seq_counter = 0;
+        id_counter = 0;
+        mute_depth = 0;
+        open_nodes = [];
+      })
 
-let enabled () = !enabled_flag
+let state () = Domain.DLS.get dls_key
+
+let enabled () = (state ()).enabled
 
 (* IDs are assigned unconditionally (a plain increment) so that trace
    nodes carry stable IDs even when no sink is installed — the IDs only
    become *addressable* when a journal was recorded. *)
 let fresh_id () =
-  let i = !id_counter in
-  id_counter := i + 1;
+  let st = state () in
+  let i = st.id_counter in
+  st.id_counter <- i + 1;
   i
 
 (* The evaluation cache replays memoized subtrees by offsetting their
-   stored ids; these two keep the global counter consistent with the ids
-   a replayed subtree occupies. *)
-let peek_id () = !id_counter
-let bump_ids n = if n > 0 then id_counter := !id_counter + n
+   stored ids; these two keep the counter consistent with the ids a
+   replayed subtree occupies. *)
+let peek_id () = (state ()).id_counter
 
-let current_node () = match !open_nodes with [] -> None | n :: _ -> Some n
+let bump_ids n =
+  if n > 0 then begin
+    let st = state () in
+    st.id_counter <- st.id_counter + n
+  end
+
+let current_node () =
+  match (state ()).open_nodes with [] -> None | n :: _ -> Some n
 
 let emit ev =
-  match !sink with
+  let st = state () in
+  match st.sink with
   | None -> ()
   | Some f ->
-      if !mute_depth = 0 then begin
+      if st.mute_depth = 0 then begin
         (match ev with
-        | Goal_enter { id; _ } | Cand_enter { id; _ } -> open_nodes := id :: !open_nodes
+        | Goal_enter { id; _ } | Cand_enter { id; _ } ->
+            st.open_nodes <- id :: st.open_nodes
         | Goal_exit _ | Cand_exit _ -> (
-            match !open_nodes with [] -> () | _ :: rest -> open_nodes := rest)
+            match st.open_nodes with [] -> () | _ :: rest -> st.open_nodes <- rest)
         | _ -> ());
-        let seq = !seq_counter in
-        seq_counter := seq + 1;
+        let seq = st.seq_counter in
+        st.seq_counter <- seq + 1;
         f { seq; ts_ns = Telemetry.now_ns (); ev }
       end
 
-let mute () = incr mute_depth
-let unmute () = if !mute_depth > 0 then decr mute_depth
+let mute () =
+  let st = state () in
+  st.mute_depth <- st.mute_depth + 1
+
+let unmute () =
+  let st = state () in
+  if st.mute_depth > 0 then st.mute_depth <- st.mute_depth - 1
 
 let set_sink s =
-  sink := s;
-  (match s with Some _ -> enabled_flag := true | None -> enabled_flag := false);
-  seq_counter := 0;
-  mute_depth := 0;
-  open_nodes := []
+  let st = state () in
+  st.sink <- s;
+  st.enabled <- (match s with Some _ -> true | None -> false);
+  st.seq_counter <- 0;
+  st.mute_depth <- 0;
+  st.open_nodes <- []
 
 let reset () =
   set_sink None;
-  id_counter := 0
+  (state ()).id_counter <- 0
 
 (** Record events into memory while running [f]; the previously
     installed sink (if any) is saved and restored. *)
 let with_memory_sink (f : unit -> 'a) : 'a * entry list =
-  let saved_sink = !sink
-  and saved_enabled = !enabled_flag
-  and saved_seq = !seq_counter
-  and saved_mute = !mute_depth
-  and saved_open = !open_nodes in
+  let st = state () in
+  let saved_sink = st.sink
+  and saved_enabled = st.enabled
+  and saved_seq = st.seq_counter
+  and saved_mute = st.mute_depth
+  and saved_open = st.open_nodes in
   let buf = ref [] in
   set_sink (Some (fun e -> buf := e :: !buf));
   let restore () =
-    sink := saved_sink;
-    enabled_flag := saved_enabled;
-    seq_counter := saved_seq;
-    mute_depth := saved_mute;
-    open_nodes := saved_open
+    st.sink <- saved_sink;
+    st.enabled <- saved_enabled;
+    st.seq_counter <- saved_seq;
+    st.mute_depth <- saved_mute;
+    st.open_nodes <- saved_open
   in
   let r = Fun.protect ~finally:restore f in
   (r, List.rev !buf)
+
+(* ------------------------------------------------------------------ *)
+(* Stream relocation *)
+
+(** [shift_entry ~seq ~ids ~snaps e] relocates one entry into another
+    stream position: [seq] replaces the sequence number, every node-ID
+    field is offset by [ids], and every snapshot serial by [snaps].  The
+    batch driver uses this to concatenate per-unit streams (each
+    recorded from ID 0) into one globally consistent, replayable journal
+    whose contents depend only on the input order — never on which
+    domain solved which unit. *)
+let shift_entry ~seq ~ids ~snaps (e : entry) : entry =
+  let n i = i + ids in
+  let nopt = Option.map n in
+  let ev =
+    match e.ev with
+    | Goal_enter g -> Goal_enter { g with id = n g.id; parent = nopt g.parent }
+    | Goal_exit g -> Goal_exit { g with id = n g.id }
+    | Goal_flag g -> Goal_flag { g with id = n g.id }
+    | Cand_enter c -> Cand_enter { c with id = n c.id; goal = n c.goal }
+    | Cand_exit c -> Cand_exit { c with id = n c.id }
+    | Cand_assembled c -> Cand_assembled { c with goal = n c.goal }
+    | Cand_commit c -> Cand_commit { goal = n c.goal; cand = n c.cand }
+    | Unify u -> Unify { u with node = nopt u.node }
+    | Snapshot_open s -> Snapshot_open { snap = s.snap + snaps; node = nopt s.node }
+    | Snapshot_commit s -> Snapshot_commit { snap = s.snap + snaps }
+    | Snapshot_rollback s -> Snapshot_rollback { snap = s.snap + snaps }
+    | Norm_resolved x -> Norm_resolved { x with id = n x.id }
+    | Cycle_detected x -> Cycle_detected { x with id = n x.id }
+    | Overflow_hit x -> Overflow_hit { x with id = n x.id }
+    | Ambiguity x -> Ambiguity { x with id = n x.id }
+    | Probe_begin _ | Probe_end _ | Overlap_detected _ -> e.ev
+    | Cache_hit c -> Cache_hit { c with goal = n c.goal }
+    | Cache_miss c -> Cache_miss { c with goal = n c.goal }
+  in
+  { e with seq; ev }
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing *)

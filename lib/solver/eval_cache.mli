@@ -8,7 +8,12 @@
       [Trait]/[Projection] goals, replayed bit-identically (journal IDs,
       inference variables, bindings);
     - {b result tier}: bare verdicts for canonicalized goals evaluated
-      from an empty stack ({!Solve.evaluate}). *)
+      from an empty stack ({!Solve.evaluate}).
+
+    The cache is shared across domains, sharded by canonical key hash
+    with one mutex per shard; lookups and inserts are safe to call from
+    parallel batch workers.  [cache.shard.contention] counts lock
+    acquisitions that had to wait. *)
 
 open Trait_lang
 

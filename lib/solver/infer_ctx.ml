@@ -73,16 +73,22 @@ type snapshot = {
   serial : int;  (** globally unique, for journal correlation *)
 }
 
-(* Serials are global (not per-context) so a journal stream interleaving
-   several inference contexts still has unambiguous snapshot IDs. *)
-let snap_serial = ref 0
+(* Serials are per-domain rather than per-context so a journal stream
+   interleaving several inference contexts still has unambiguous
+   snapshot IDs; domain-local state keeps parallel batch units race-free
+   and — with the batch driver resetting per unit — deterministic. *)
+let snap_serial : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let snapshot_serial () = !(Domain.DLS.get snap_serial)
+let reset_snapshot_serial () = Domain.DLS.get snap_serial := 0
 
 let snapshot t : snapshot =
   Telemetry.incr c_snapshots;
   let mark = t.undo_len in
   t.snapshots <- mark :: t.snapshots;
-  incr snap_serial;
-  let serial = !snap_serial in
+  let counter = Domain.DLS.get snap_serial in
+  incr counter;
+  let serial = !counter in
   if Journal.enabled () then
     Journal.emit (Journal.Snapshot_open { snap = serial; node = Journal.current_node () });
   { mark; serial }

@@ -21,7 +21,12 @@
       clock the bench harness uses), in integer nanoseconds — unboxed on
       64-bit, so reading the clock does not allocate either;
     - {b bounded traces}: span begin/end events land in a fixed-capacity
-      buffer for Chrome-trace export; overflow is counted, never silent.
+      buffer for Chrome-trace export; overflow is counted, never silent;
+    - {b domain-safe}: counters are atomic, histograms take a
+      per-histogram mutex (enabled path only), and span/trace events
+      accumulate in {e per-domain} buffers that a worker flushes into the
+      merged trace with {!flush_domain_events} — so parallel batch
+      solving records race-free without contending on every event.
 
     The JSON exporter lives in {!Argus_json.Telemetry_export} (it needs the
     JSON library, which sits above this one in the dependency order). *)
@@ -29,43 +34,65 @@
 (* ------------------------------------------------------------------ *)
 (* The global sink toggle *)
 
-let enabled_flag = ref false
+(* Atomic rather than a plain ref: worker domains must observe toggles
+   made by the main domain between batches (e.g. the bench enabling
+   telemetry for one counted run against a live pool). *)
+let enabled_flag = Atomic.make false
 
-let enabled () = !enabled_flag
-let enable () = enabled_flag := true
-let disable () = enabled_flag := false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
 
 (** Monotonic nanoseconds.  [int] holds ±292 years of nanoseconds on
     64-bit platforms, and unlike [Int64.t] it never boxes. *)
 let now_ns () = Int64.to_int (Monotonic_clock.clock_linux_get_time ())
 
+(* Registration is rare (module init, mostly on the main domain before
+   workers spawn), so one mutex over both registries suffices. *)
+let registry_mutex = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 (* ------------------------------------------------------------------ *)
 (* Counters *)
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.add counters name c;
-      c
+  with_lock registry_mutex (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_value = Atomic.make 0 } in
+          Hashtbl.add counters name c;
+          c)
 
-let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
-let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+let incr c = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_value 1)
+let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_value n)
 
-(** High-water-mark semantics: keep the largest value ever recorded.
-    Used for e.g. the obligation-queue length. *)
-let record_max c n = if !enabled_flag && n > c.c_value then c.c_value <- n
+(** High-water-mark semantics: keep the largest value ever recorded. *)
+let record_max c n =
+  if Atomic.get enabled_flag then begin
+    let rec loop () =
+      let cur = Atomic.get c.c_value in
+      if n > cur && not (Atomic.compare_and_set c.c_value cur n) then loop ()
+    in
+    loop ()
+  end
 
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 
 (** Look a counter's current value up by name; 0 if never registered. *)
 let counter_value name =
-  match Hashtbl.find_opt counters name with Some c -> c.c_value | None -> 0
+  match
+    with_lock registry_mutex (fun () -> Hashtbl.find_opt counters name)
+  with
+  | Some c -> Atomic.get c.c_value
+  | None -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Log-bucketed histograms *)
@@ -76,6 +103,7 @@ let num_buckets = 64
 
 type histogram = {
   h_name : string;
+  h_mutex : Mutex.t;  (** guards every mutable field; enabled path only *)
   h_buckets : int array;
   mutable h_count : int;
   mutable h_sum : int;
@@ -86,35 +114,38 @@ type histogram = {
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          h_name = name;
-          h_buckets = Array.make num_buckets 0;
-          h_count = 0;
-          h_sum = 0;
-          h_min = 0;
-          h_max = 0;
-        }
-      in
-      Hashtbl.add histograms name h;
-      h
+  with_lock registry_mutex (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_name = name;
+              h_mutex = Mutex.create ();
+              h_buckets = Array.make num_buckets 0;
+              h_count = 0;
+              h_sum = 0;
+              h_min = 0;
+              h_max = 0;
+            }
+          in
+          Hashtbl.add histograms name h;
+          h)
 
 let bucket_of v =
   let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
   min (num_buckets - 1) (bits 0 v)
 
 let observe h v =
-  if !enabled_flag then begin
+  if Atomic.get enabled_flag then begin
     let v = if v < 0 then 0 else v in
     let b = bucket_of v in
-    h.h_buckets.(b) <- h.h_buckets.(b) + 1;
-    if h.h_count = 0 || v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum + v
+    with_lock h.h_mutex (fun () ->
+        h.h_buckets.(b) <- h.h_buckets.(b) + 1;
+        if h.h_count = 0 || v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v;
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum + v)
   end
 
 (** Estimate the [q]-quantile (0 < q <= 1) from the buckets: find the
@@ -155,28 +186,46 @@ type event = {
   ev_depth : int;  (** nesting depth at emission, for sanity checks *)
 }
 
-(** Bounded trace buffer: 64k events (≈ 32k spans) per run.  Overflow
-    increments [dropped_events] so exporters can report the truncation
-    instead of silently losing the tail. *)
+(** Bounded trace buffer: 64k events (≈ 32k spans) per domain between
+    flushes.  Overflow increments the dropped count so exporters can
+    report the truncation instead of silently losing the tail. *)
 let max_events = 1 lsl 16
 
 let ev_dummy = { ev_name = ""; ev_phase = Span_begin; ev_ts = 0; ev_depth = 0 }
-let ev_buf = ref (Array.make 0 ev_dummy)
-let ev_len = ref 0
-let ev_dropped = ref 0
-let span_depth = ref 0
 
-let push_event e =
-  if !ev_len >= max_events then Stdlib.incr ev_dropped
+(* Per-domain event state: the buffer, its length, the overflow count,
+   and the span-nesting depth.  Workers record locally (no locks on the
+   recording path) and publish with [flush_domain_events]. *)
+type ev_state = {
+  mutable buf : event array;
+  mutable len : int;
+  mutable dropped : int;
+  mutable depth : int;
+}
+
+let ev_key : ev_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { buf = [||]; len = 0; dropped = 0; depth = 0 })
+
+let ev_state () = Domain.DLS.get ev_key
+
+(* Flushed per-domain segments, oldest flush first.  Each segment is
+   internally well-formed (balanced begin/end), so the concatenation the
+   exporters see respects the stack discipline too. *)
+let merged_segments : event list list ref = ref []
+let merged_dropped = ref 0
+let merge_mutex = Mutex.create ()
+
+let push_event st e =
+  if st.len >= max_events then st.dropped <- st.dropped + 1
   else begin
-    if !ev_len >= Array.length !ev_buf then begin
-      let cap = max 256 (2 * Array.length !ev_buf) in
+    if st.len >= Array.length st.buf then begin
+      let cap = max 256 (2 * Array.length st.buf) in
       let buf = Array.make (min cap max_events) ev_dummy in
-      Array.blit !ev_buf 0 buf 0 !ev_len;
-      ev_buf := buf
+      Array.blit st.buf 0 buf 0 st.len;
+      st.buf <- buf
     end;
-    !ev_buf.(!ev_len) <- e;
-    Stdlib.incr ev_len
+    st.buf.(st.len) <- e;
+    st.len <- st.len + 1
   end
 
 (** A span handle: a static name plus the histogram its durations feed. *)
@@ -188,19 +237,21 @@ let span name = { s_name = name; s_hist = histogram name }
     disabled (in which case the matching [end_] is a no-op even if the
     sink was enabled in between). *)
 let begin_ s =
-  if not !enabled_flag then -1
+  if not (Atomic.get enabled_flag) then -1
   else begin
+    let st = ev_state () in
     let t = now_ns () in
-    push_event { ev_name = s.s_name; ev_phase = Span_begin; ev_ts = t; ev_depth = !span_depth };
-    Stdlib.incr span_depth;
+    push_event st { ev_name = s.s_name; ev_phase = Span_begin; ev_ts = t; ev_depth = st.depth };
+    st.depth <- st.depth + 1;
     t
   end
 
 let end_ s t0 =
-  if !enabled_flag && t0 >= 0 then begin
+  if Atomic.get enabled_flag && t0 >= 0 then begin
+    let st = ev_state () in
     let t = now_ns () in
-    span_depth := max 0 (!span_depth - 1);
-    push_event { ev_name = s.s_name; ev_phase = Span_end; ev_ts = t; ev_depth = !span_depth };
+    st.depth <- max 0 (st.depth - 1);
+    push_event st { ev_name = s.s_name; ev_phase = Span_end; ev_ts = t; ev_depth = st.depth };
     observe s.s_hist (t - t0)
   end
 
@@ -208,8 +259,31 @@ let with_span s f =
   let t0 = begin_ s in
   Fun.protect ~finally:(fun () -> end_ s t0) f
 
-let events () = Array.to_list (Array.sub !ev_buf 0 !ev_len)
-let dropped_events () = !ev_dropped
+let local_events st = Array.to_list (Array.sub st.buf 0 st.len)
+
+(** Publish the calling domain's buffered events into the merged trace
+    and clear the local buffer.  Worker domains call this after each
+    task (the pool does it for them); the main domain's unflushed buffer
+    is always visible through {!events}, so single-domain runs never
+    need to flush. *)
+let flush_domain_events () =
+  let st = ev_state () in
+  if st.len > 0 || st.dropped > 0 then begin
+    let seg = local_events st in
+    let dropped = st.dropped in
+    st.len <- 0;
+    st.dropped <- 0;
+    with_lock merge_mutex (fun () ->
+        if seg <> [] then merged_segments := !merged_segments @ [ seg ];
+        merged_dropped := !merged_dropped + dropped)
+  end
+
+let events () =
+  let merged = with_lock merge_mutex (fun () -> List.concat !merged_segments) in
+  merged @ local_events (ev_state ())
+
+let dropped_events () =
+  with_lock merge_mutex (fun () -> !merged_dropped) + (ev_state ()).dropped
 
 (** Check strict begin/end nesting: every [Span_end] closes the most
     recently opened span of the same name.  Exporters and tests use this
@@ -228,21 +302,30 @@ let well_formed_events evs =
 (* ------------------------------------------------------------------ *)
 (* Reset *)
 
-(** Zero every counter, histogram, and the event buffer.  Handles held by
-    instrumented modules stay valid — registries are mutated in place. *)
+(** Zero every counter, histogram, the merged trace, and the calling
+    domain's event buffer.  Handles held by instrumented modules stay
+    valid — registries are mutated in place.  Worker domains flush after
+    every task, so between batches their local buffers are already
+    empty; a reset from the main domain therefore clears everything. *)
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.h_buckets 0 num_buckets 0;
-      h.h_count <- 0;
-      h.h_sum <- 0;
-      h.h_min <- 0;
-      h.h_max <- 0)
-    histograms;
-  ev_len := 0;
-  ev_dropped := 0;
-  span_depth := 0
+  with_lock registry_mutex (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+      Hashtbl.iter
+        (fun _ h ->
+          with_lock h.h_mutex (fun () ->
+              Array.fill h.h_buckets 0 num_buckets 0;
+              h.h_count <- 0;
+              h.h_sum <- 0;
+              h.h_min <- 0;
+              h.h_max <- 0))
+        histograms);
+  with_lock merge_mutex (fun () ->
+      merged_segments := [];
+      merged_dropped := 0);
+  let st = ev_state () in
+  st.len <- 0;
+  st.dropped <- 0;
+  st.depth <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots and the human-readable report *)
@@ -264,26 +347,31 @@ type snapshot = {
 }
 
 let snapshot () =
-  let cs =
-    Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let cs, hs =
+    with_lock registry_mutex (fun () ->
+        let cs =
+          Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_value) :: acc) counters []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        let hs =
+          Hashtbl.fold
+            (fun name h acc ->
+              with_lock h.h_mutex (fun () ->
+                  {
+                    hs_name = name;
+                    hs_count = h.h_count;
+                    hs_sum_ns = h.h_sum;
+                    hs_p50 = quantile h 0.50;
+                    hs_p90 = quantile h 0.90;
+                    hs_p99 = quantile h 0.99;
+                  })
+              :: acc)
+            histograms []
+          |> List.sort (fun a b -> String.compare a.hs_name b.hs_name)
+        in
+        (cs, hs))
   in
-  let hs =
-    Hashtbl.fold
-      (fun name h acc ->
-        {
-          hs_name = name;
-          hs_count = h.h_count;
-          hs_sum_ns = h.h_sum;
-          hs_p50 = quantile h 0.50;
-          hs_p90 = quantile h 0.90;
-          hs_p99 = quantile h 0.99;
-        }
-        :: acc)
-      histograms []
-    |> List.sort (fun a b -> String.compare a.hs_name b.hs_name)
-  in
-  { sn_counters = cs; sn_spans = hs; sn_events = events (); sn_dropped = !ev_dropped }
+  { sn_counters = cs; sn_spans = hs; sn_events = events (); sn_dropped = dropped_events () }
 
 let format_ns ns =
   if ns < 1e3 then Printf.sprintf "%.0fns" ns

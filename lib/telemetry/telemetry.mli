@@ -5,7 +5,12 @@
     single load + branch and allocates nothing, so instrumentation can sit
     on hot solver paths; see the implementation header for the full design
     constraints.  Chrome-trace JSON export lives in
-    {!Argus_json.Telemetry_export}. *)
+    {!Argus_json.Telemetry_export}.
+
+    Domain safety: counters are atomic, histograms lock per-histogram on
+    the enabled path, and span/trace events accumulate per domain —
+    worker domains publish theirs with {!flush_domain_events} (the
+    domain pool does this automatically after every task). *)
 
 (** {1 The global sink} *)
 
@@ -79,11 +84,20 @@ val end_ : span -> int -> unit
 (** [with_span s f] wraps [f ()] in a span, closing it on exceptions. *)
 val with_span : span -> (unit -> 'a) -> 'a
 
-(** Buffered trace events, in emission order. *)
+(** Buffered trace events: every flushed per-domain segment (in flush
+    order) followed by the calling domain's unflushed buffer.  In a
+    single-domain run this is simply the emission order. *)
 val events : unit -> event list
 
-(** Events discarded after the buffer filled (bounded at 64k events). *)
+(** Events discarded after a domain's buffer filled (bounded at 64k
+    events per domain between flushes). *)
 val dropped_events : unit -> int
+
+(** Publish the calling domain's buffered events into the merged trace
+    and clear its local buffer.  Worker domains must call this before
+    going idle for their events to appear in {!events}/{!snapshot};
+    {!Pool} calls it after every task.  A no-op on an empty buffer. *)
+val flush_domain_events : unit -> unit
 
 (** Strict stack discipline: every end closes the most recent begin of
     the same name. *)

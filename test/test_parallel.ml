@@ -1,0 +1,107 @@
+(** Corpus-wide determinism of parallel batch solving: for every
+    17-program suite entry, a [--jobs 4] batch must produce proof trees
+    (node-for-node, id-for-id), diagnostics, and journal JSONL
+    byte-identical to [--jobs 1] — evaluation cache on and off, journal
+    attached and not. *)
+
+open Trait_lang
+
+(* Everything observable about one solved entry, as bytes: the full
+   encoded report, the trace structure with its stable gids, the
+   rendered diagnostic of every failing goal, the journal JSONL, and the
+   ID/serial counts the unit consumed. *)
+let fingerprint (b : Corpus.Harness.batch_result) : string =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Argus_json.Json.to_string (Argus_json.Encode.report b.b_report));
+  List.iter
+    (fun (r : Solver.Obligations.goal_report) ->
+      Solver.Trace.fold_goals
+        (fun () (g : Solver.Trace.goal_node) ->
+          Printf.bprintf buf "g%d d%d %s;" g.gid g.depth (Pretty.predicate g.pred))
+        () r.final;
+      if r.status <> Solver.Obligations.Proved then begin
+        let tree = Argus.Extract.of_report r in
+        let goal = { r.goal with Program.goal_pred = r.final.pred } in
+        Buffer.add_string buf
+          (Rustc_diag.Diagnostic.to_string
+             (Rustc_diag.Diagnostic.of_tree b.b_program goal tree))
+      end)
+    b.b_report.reports;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Argus_json.Json.to_string (Argus_json.Journal_codec.entry_to_json e));
+      Buffer.add_char buf '\n')
+    b.b_journal;
+  Printf.bprintf buf "ids=%d snaps=%d" b.b_ids b.b_snaps;
+  Buffer.contents buf
+
+let batch ~jobs ~journal entries =
+  Solver.Eval_cache.clear ();
+  if jobs = 1 then Corpus.Harness.solve_batch ~jobs:1 ~journal entries
+  else begin
+    let pool = Pool.create ~jobs in
+    let r = Corpus.Harness.solve_batch ~pool ~journal entries in
+    Pool.shutdown pool;
+    r
+  end
+
+let check_config ~cache ~journal () =
+  let entries = Corpus.Suite.entries in
+  Alcotest.(check int) "the 17-program suite" 17 (List.length entries);
+  Solver.Eval_cache.set_enabled cache;
+  let seq = batch ~jobs:1 ~journal entries in
+  let par = batch ~jobs:4 ~journal entries in
+  Solver.Eval_cache.set_enabled true;
+  Solver.Eval_cache.clear ();
+  List.iter2
+    (fun (a : Corpus.Harness.batch_result) (b : Corpus.Harness.batch_result) ->
+      Alcotest.(check string)
+        (a.b_entry.id ^ ": jobs-4 output byte-identical to jobs-1")
+        (fingerprint a) (fingerprint b);
+      if journal then
+        Alcotest.(check bool)
+          (a.b_entry.id ^ ": journal recorded")
+          true (a.b_journal <> []))
+    seq par
+
+(* The parallel journal streams must stay individually replayable: each
+   unit's stream starts at ID 0 and rebuilds the same search forest the
+   sequential run's does. *)
+let test_parallel_journals_replay () =
+  let entries = Corpus.Suite.entries in
+  let pool = Pool.create ~jobs:4 in
+  let results = Corpus.Harness.solve_batch ~pool ~journal:true entries in
+  Pool.shutdown pool;
+  List.iter
+    (fun (b : Corpus.Harness.batch_result) ->
+      match Journal.replay b.b_journal with
+      | Ok tree ->
+          Alcotest.(check bool)
+            (b.b_entry.id ^ ": replayed forest has roots")
+            true
+            (tree.Journal.rt_roots <> [])
+      | Error m -> Alcotest.fail (b.b_entry.id ^ ": journal does not replay: " ^ m))
+    results
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "cache off, journal on" `Quick
+            (check_config ~cache:false ~journal:true);
+          Alcotest.test_case "cache on, journal on" `Quick
+            (check_config ~cache:true ~journal:true);
+          Alcotest.test_case "cache off, journal off" `Quick
+            (check_config ~cache:false ~journal:false);
+          Alcotest.test_case "cache on, journal off" `Quick
+            (check_config ~cache:true ~journal:false);
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "per-unit streams replay" `Quick
+            test_parallel_journals_replay;
+        ] );
+    ]

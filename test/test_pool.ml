@@ -1,0 +1,147 @@
+(** The domain pool: ordered results, exception propagation, clean
+    shutdown, and the sequential fast path. *)
+
+exception Boom of int
+
+(* ------------------------------------------------------------------ *)
+(* Ordered results *)
+
+let test_map_ordered () =
+  let pool = Pool.create ~jobs:4 in
+  let results = Pool.map pool (fun i -> i * i) (List.init 100 Fun.id) in
+  Pool.shutdown pool;
+  Alcotest.(check (list int)) "squares in input order"
+    (List.init 100 (fun i -> i * i))
+    results
+
+(* Force a completion schedule that inverts submission order: task 0
+   spins until every later task has finished, task 1 until every task
+   after it has, and so on.  With [jobs] = task count, every task runs
+   concurrently, so the last submitted task completes first — results
+   must still come back in input order. *)
+let test_map_ordered_under_reversed_completion () =
+  let n = 4 in
+  let pool = Pool.create ~jobs:n in
+  let remaining = Atomic.make n in
+  let work i =
+    (* wait until all tasks after [i] have decremented [remaining] *)
+    while Atomic.get remaining > i + 1 do
+      Domain.cpu_relax ()
+    done;
+    Atomic.decr remaining;
+    i * 10
+  in
+  let results = Pool.map pool work (List.init n Fun.id) in
+  Pool.shutdown pool;
+  Alcotest.(check (list int)) "ordered despite reverse completion"
+    (List.init n (fun i -> i * 10))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Exception propagation *)
+
+let test_exception_propagates () =
+  let pool = Pool.create ~jobs:2 in
+  let raised =
+    try
+      ignore (Pool.map pool (fun i -> if i = 3 then raise (Boom i) else i) (List.init 8 Fun.id));
+      None
+    with Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "worker exception reaches the caller" (Some 3) raised;
+  (* the pool survives a failed batch: the queue drained, workers live *)
+  let ok = Pool.map pool (fun i -> i + 1) [ 1; 2; 3 ] in
+  Pool.shutdown pool;
+  Alcotest.(check (list int)) "pool usable after a failed batch" [ 2; 3; 4 ] ok
+
+let test_first_failing_index_wins () =
+  let pool = Pool.create ~jobs:4 in
+  let raised =
+    try
+      ignore
+        (Pool.map pool
+           (fun i -> if i >= 2 then raise (Boom i) else i)
+           (List.init 8 Fun.id));
+      None
+    with Boom i -> Some i
+  in
+  Pool.shutdown pool;
+  Alcotest.(check (option int)) "earliest failing input's exception" (Some 2) raised
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let test_shutdown_joins () =
+  let pool = Pool.create ~jobs:3 in
+  ignore (Pool.map pool succ [ 1; 2; 3; 4; 5 ]);
+  Pool.shutdown pool;
+  (* idempotent *)
+  Pool.shutdown pool;
+  Alcotest.(check int) "jobs recorded" 3 (Pool.jobs pool)
+
+let test_create_rejects_nonpositive () =
+  let rejected jobs =
+    match Pool.create ~jobs with
+    | exception Invalid_argument _ -> true
+    | p ->
+        Pool.shutdown p;
+        false
+  in
+  Alcotest.(check bool) "jobs = 0 rejected" true (rejected 0);
+  Alcotest.(check bool) "jobs = -2 rejected" true (rejected (-2))
+
+(* [run ~jobs:1] with no pool must never spawn a domain: the telemetry
+   task counter stays untouched because no pool task ever executes. *)
+let test_run_sequential_path () =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let r = Pool.run ~jobs:1 (fun i -> i * 2) [ 1; 2; 3 ] in
+  let tasks = Telemetry.counter_value "pool.tasks" in
+  let batches = Telemetry.counter_value "pool.batches" in
+  Telemetry.disable ();
+  Alcotest.(check (list int)) "sequential result" [ 2; 4; 6 ] r;
+  Alcotest.(check int) "no pool task executed" 0 tasks;
+  Alcotest.(check int) "no pool batch recorded" 0 batches
+
+let test_run_parallel_path () =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let r = Pool.run ~jobs:2 (fun i -> i * 2) [ 1; 2; 3 ] in
+  let tasks = Telemetry.counter_value "pool.tasks" in
+  Telemetry.disable ();
+  Alcotest.(check (list int)) "parallel result" [ 2; 4; 6 ] r;
+  Alcotest.(check int) "every input ran as a pool task" 3 tasks
+
+let test_empty_and_singleton () =
+  let pool = Pool.create ~jobs:2 in
+  let empty = Pool.map pool succ [] in
+  let one = Pool.map pool succ [ 41 ] in
+  Pool.shutdown pool;
+  Alcotest.(check (list int)) "empty batch" [] empty;
+  Alcotest.(check (list int)) "singleton batch" [ 42 ] one
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "ordered results" `Quick test_map_ordered;
+          Alcotest.test_case "ordered under reversed completion" `Quick
+            test_map_ordered_under_reversed_completion;
+          Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "first failing index wins" `Quick
+            test_first_failing_index_wins;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "shutdown joins cleanly" `Quick test_shutdown_joins;
+          Alcotest.test_case "nonpositive jobs rejected" `Quick
+            test_create_rejects_nonpositive;
+          Alcotest.test_case "run jobs=1 is sequential" `Quick test_run_sequential_path;
+          Alcotest.test_case "run jobs>1 uses the pool" `Quick test_run_parallel_path;
+        ] );
+    ]

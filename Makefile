@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-json bench-journal bench-parallel perf ci clean
+.PHONY: build test bench bench-json bench-journal bench-parallel bench-fuzz fuzz perf ci clean
 
 build:
 	dune build @all
@@ -26,6 +26,18 @@ bench-journal:
 bench-parallel:
 	dune exec bench/main.exe -- --parallel-only
 
+# Re-measure only the differential-fuzzing throughput section
+# (generation + per-oracle check cost), preserving the other
+# BENCH_pipeline.json sections.
+bench-fuzz:
+	dune exec bench/main.exe -- --fuzz-only
+
+# Differential fuzzing campaign: 500 random programs through every
+# oracle at the pinned CI seed, shrinking any counterexample to a
+# replayable .trait repro under fuzz-repros/ (see docs/TESTING.md).
+fuzz:
+	dune exec bin/argus_cli.exe -- fuzz --iters 500 --seed 42 --shrink
+
 # Re-measure the performance sections — the evaluation-cache on/off
 # comparison and the parallel batch curves (see docs/PERFORMANCE.md) —
 # preserving the other BENCH_pipeline.json sections.
@@ -34,13 +46,14 @@ perf:
 	dune exec bench/main.exe -- --parallel-only
 
 # What CI runs: full build, full test suite, a parallel corpus smoke
-# (all bundled programs at --jobs 4), and the bench smoke that
-# regenerates BENCH_pipeline.json (1 timed run, 1 warmup — correctness
-# of the harness, not statistics).
+# (all bundled programs at --jobs 4), a 200-iteration fuzz smoke at the
+# pinned seed, and the bench smoke that regenerates BENCH_pipeline.json
+# (1 timed run, 1 warmup — correctness of the harness, not statistics).
 ci:
 	dune build @all
 	dune runtest
 	dune exec bin/argus_cli.exe -- corpus --all --jobs 4
+	dune exec bin/argus_cli.exe -- fuzz --iters 200 --seed 42
 	dune exec bench/main.exe -- --json-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --parallel-only --runs 1 --warmup 1
 

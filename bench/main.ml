@@ -532,11 +532,62 @@ let bench_parallel_entries () =
   in
   rows @ [ summary ]
 
-let write_pipeline_doc ~entries ~journal ~cache ~parallel ~diesel_speedup =
+(** Differential-fuzzing throughput: generation+render cost, then the
+    per-program cost of each oracle over a fixed bank of generated
+    programs (seed 42, the CI campaign seed).  Costs here bound the
+    wall-clock budget of [argus fuzz] and the CI fuzz-smoke step. *)
+let bench_fuzz_entries () =
+  let bank_size = 10 in
+  let seed = 42 in
+  let sources =
+    List.init bank_size (fun iter ->
+        Fuzz.Gen.render (Fuzz.Gen.generate ~seed ~iter ~size:Fuzz.Gen.default_size))
+  in
+  let ns_gen =
+    time_median (fun () ->
+        List.init bank_size (fun iter ->
+            Fuzz.Gen.render (Fuzz.Gen.generate ~seed ~iter ~size:Fuzz.Gen.default_size)))
+    /. float_of_int bank_size
+  in
+  Printf.printf "  %-12s %9.2f us/program\n" "generate" (ns_gen /. 1e3);
+  let gen_row =
+    Argus_json.Json.Obj
+      [
+        ("stage", Argus_json.Json.String "generate");
+        ("programs", Argus_json.Json.Int bank_size);
+        ("ns_per_program", Argus_json.Json.Float ns_gen);
+      ]
+  in
+  let pool = Pool.create ~jobs:2 in
+  let oracle_row name =
+    let ns =
+      time_median (fun () ->
+          List.iter
+            (fun source ->
+              match Fuzz.Oracle.check ~pool name ~source with
+              | Fuzz.Oracle.Pass -> ()
+              | Fuzz.Oracle.Fail m ->
+                  failwith (Fuzz.Oracle.to_string name ^ " counterexample: " ^ m))
+            sources)
+      /. float_of_int bank_size
+    in
+    Printf.printf "  %-12s %9.2f us/check\n" (Fuzz.Oracle.to_string name) (ns /. 1e3);
+    Argus_json.Json.Obj
+      [
+        ("stage", Argus_json.Json.String (Fuzz.Oracle.to_string name));
+        ("programs", Argus_json.Json.Int bank_size);
+        ("ns_per_program", Argus_json.Json.Float ns);
+      ]
+  in
+  let rows = gen_row :: List.map oracle_row Fuzz.Oracle.all in
+  Pool.shutdown pool;
+  rows
+
+let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~diesel_speedup =
   let doc =
     Argus_json.Json.Obj
       [
-        ("schema", Argus_json.Json.String "argus.bench.pipeline/v4");
+        ("schema", Argus_json.Json.String "argus.bench.pipeline/v5");
         ("runs", Argus_json.Json.Int !bench_runs);
         ("warmup", Argus_json.Json.Int !bench_warmup);
         ("ocaml_version", Argus_json.Json.String Sys.ocaml_version);
@@ -546,6 +597,7 @@ let write_pipeline_doc ~entries ~journal ~cache ~parallel ~diesel_speedup =
         ("journal", Argus_json.Json.List journal);
         ("cache", Argus_json.Json.List cache);
         ("parallel", Argus_json.Json.List parallel);
+        ("fuzz", Argus_json.Json.List fuzz);
       ]
   in
   let oc = open_out "BENCH_pipeline.json" in
@@ -555,8 +607,10 @@ let write_pipeline_doc ~entries ~journal ~cache ~parallel ~diesel_speedup =
       output_string oc (Argus_json.Json.to_string_pretty doc);
       output_char oc '\n');
   Printf.printf
-    "wrote BENCH_pipeline.json (%d entries, %d journal rows, %d cache rows, %d parallel rows)\n"
-    (List.length entries) (List.length journal) (List.length cache) (List.length parallel)
+    "wrote BENCH_pipeline.json (%d entries, %d journal rows, %d cache rows, %d parallel \
+     rows, %d fuzz rows)\n"
+    (List.length entries) (List.length journal) (List.length cache)
+    (List.length parallel) (List.length fuzz)
 
 (** A section of the existing BENCH_pipeline.json, so partial re-runs
     ([--journal-only], [--cache-only]) keep the other sections intact. *)
@@ -634,7 +688,9 @@ let bench_pipeline_json () =
   let cache, diesel_speedup = bench_cache_entries () in
   print_endline "parallel batch solving (17-program suite, cache off):";
   let parallel = bench_parallel_entries () in
-  write_pipeline_doc ~entries ~journal ~cache ~parallel ~diesel_speedup
+  print_endline "differential fuzzing (generation + oracle bank, seed 42):";
+  let fuzz = bench_fuzz_entries () in
+  write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~diesel_speedup
 
 (** Re-measure only the journal section, keeping the other sections of
     BENCH_pipeline.json (if any) intact. *)
@@ -644,6 +700,7 @@ let bench_journal_json () =
   write_pipeline_doc ~entries:(existing_section "entries") ~journal
     ~cache:(existing_section "cache")
     ~parallel:(existing_section "parallel")
+    ~fuzz:(existing_section "fuzz")
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the cache section, keeping the other sections of
@@ -654,7 +711,7 @@ let bench_cache_json () =
   write_pipeline_doc ~entries:(existing_section "entries")
     ~journal:(existing_section "journal") ~cache
     ~parallel:(existing_section "parallel")
-    ~diesel_speedup
+    ~fuzz:(existing_section "fuzz") ~diesel_speedup
 
 (** Re-measure only the parallel section, keeping the other sections of
     BENCH_pipeline.json (if any) intact. *)
@@ -665,6 +722,19 @@ let bench_parallel_json () =
     ~journal:(existing_section "journal")
     ~cache:(existing_section "cache")
     ~parallel
+    ~fuzz:(existing_section "fuzz")
+    ~diesel_speedup:(existing_diesel_speedup ())
+
+(** Re-measure only the fuzzing section, keeping the other sections of
+    BENCH_pipeline.json (if any) intact. *)
+let bench_fuzz_json () =
+  section "Differential-fuzzing benchmark (BENCH_pipeline.json, fuzz section)";
+  let fuzz = bench_fuzz_entries () in
+  write_pipeline_doc ~entries:(existing_section "entries")
+    ~journal:(existing_section "journal")
+    ~cache:(existing_section "cache")
+    ~parallel:(existing_section "parallel")
+    ~fuzz
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (* ------------------------------------------------------------------ *)
@@ -687,9 +757,11 @@ let () =
   let journal_only = Array.exists (( = ) "--journal-only") Sys.argv in
   let cache_only = Array.exists (( = ) "--cache-only") Sys.argv in
   let parallel_only = Array.exists (( = ) "--parallel-only") Sys.argv in
+  let fuzz_only = Array.exists (( = ) "--fuzz-only") Sys.argv in
   if journal_only then bench_journal_json ()
   else if cache_only then bench_cache_json ()
   else if parallel_only then bench_parallel_json ()
+  else if fuzz_only then bench_fuzz_json ()
   else if json_only then bench_pipeline_json ()
   else begin
     print_endline "Argus-ML benchmark harness — regenerating every paper table/figure";

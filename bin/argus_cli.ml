@@ -972,8 +972,144 @@ let interactive_cmd =
     Term.(const run $ telemetry_term $ file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz *)
 
-let version = "1.4.0"
+let fuzz_cmd =
+  let parse_oracles names =
+    match names with
+    | [] -> Fuzz.Oracle.all
+    | names ->
+        List.map
+          (fun n ->
+            match Fuzz.Oracle.of_string n with
+            | Some o -> o
+            | None ->
+                Printf.eprintf "error: unknown oracle %S (known: %s)\n" n
+                  (String.concat ", " (List.map Fuzz.Oracle.to_string Fuzz.Oracle.all));
+                exit 2)
+          names
+  in
+  (* The jobs oracle compares against a parallel batch, so it wants a
+     shared pool for the whole campaign; every other oracle runs in
+     this domain. *)
+  let with_pool ~oracles ~jobs f =
+    if List.mem Fuzz.Oracle.Jobs oracles then begin
+      let pool = Pool.create ~jobs:(max 2 (min (resolve_jobs jobs) 4)) in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f (Some pool))
+    end
+    else f None
+  in
+  let run () iters seed oracle_names shrink size out replay jobs =
+    let oracles = parse_oracles oracle_names in
+    match replay with
+    | Some path ->
+        if not (Sys.file_exists path) then begin
+          Printf.eprintf "error: no such file: %s\n" path;
+          exit 2
+        end;
+        let verdicts =
+          with_pool ~oracles ~jobs (fun pool -> Fuzz.Driver.replay ?pool ~oracles ~path ())
+        in
+        let failed = ref 0 in
+        List.iter
+          (fun (name, v) ->
+            match v with
+            | Fuzz.Oracle.Pass -> Printf.printf "%-12s pass\n" (Fuzz.Oracle.to_string name)
+            | Fuzz.Oracle.Fail m ->
+                incr failed;
+                Printf.printf "%-12s FAIL  %s\n" (Fuzz.Oracle.to_string name) m)
+          verdicts;
+        exit (if !failed > 0 then 1 else 0)
+    | None ->
+        let iters = max 0 iters in
+        let outcome =
+          with_pool ~oracles ~jobs (fun pool ->
+              Fuzz.Driver.run ?pool ~out_dir:out ~shrink ~size
+                ~progress:(fun line -> Printf.eprintf "%s\n%!" line)
+                ~oracles ~iters ~seed ())
+        in
+        (match outcome.o_counterexample with
+        | None ->
+            Printf.printf
+              "fuzz: %d iterations x %d oracles (%s), %d checks, 0 counterexamples\n"
+              outcome.o_iters (List.length oracles)
+              (String.concat ", " (List.map Fuzz.Oracle.to_string oracles))
+              outcome.o_checks;
+            exit 0
+        | Some cx ->
+            Printf.printf "fuzz: counterexample at iteration %d (oracle %s)\n"
+              cx.cx_iter
+              (Fuzz.Oracle.to_string cx.cx_oracle);
+            Printf.printf "  %s\n" cx.cx_message;
+            Printf.printf "  %d declaration(s) after %s\n" cx.cx_decls
+              (if shrink then "shrinking" else "no shrinking (--shrink to minimize)");
+            (match cx.cx_file with
+            | Some f -> Printf.printf "  repro written to %s\n" f
+            | None -> ());
+            exit 1)
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Number of generated programs ($(b,--iters 0) is a clean no-op).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed; iteration $(i,i) depends only on (seed, i, size).")
+  in
+  let oracle_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            "Oracle(s) to run (repeatable; default: all). Known: wellformed, \
+             cache, jobs, journal, roundtrip, intern, determinism.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Greedily minimize a counterexample before reporting it.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int Fuzz.Gen.default_size
+      & info [ "size" ] ~docv:"K" ~doc:"Program size knob, 1 (tiny) to 4 (large).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "fuzz-repros"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory (created if missing) for counterexample repro files.")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run the oracle matrix over a saved repro instead of generating.")
+  in
+  let observability_term =
+    Term.(const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg)
+  in
+  let exits =
+    Cmd.Exit.info 1 ~doc:"when a counterexample is found (or a replayed repro still fails)."
+    :: Cmd.Exit.info 2 ~doc:"on usage or I/O errors."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~exits
+       ~doc:
+         "Generative differential testing: random well-formed L_TRAIT programs \
+          solved several ways (cache on/off, --jobs 2 vs 1, journal replay, \
+          print/re-parse, interning, repeated runs) that must agree. Writes a \
+          replayable $(i,.trait) repro and exits 1 on a counterexample.")
+    Term.(
+      const run $ observability_term $ iters_arg $ seed_arg $ oracle_arg $ shrink_arg
+      $ size_arg $ out_arg $ replay_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let version = "1.5.0"
 
 (* With no subcommand: honour -V (short for the auto-generated
    --version), otherwise show the help page. *)
@@ -1003,6 +1139,7 @@ let main =
       study_cmd;
       explain_cmd;
       interactive_cmd;
+      fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

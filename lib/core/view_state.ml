@@ -97,9 +97,9 @@ let toggle_others t = { t with others_expanded = not t.others_expanded }
 (** The pretty-printer configuration a node renders under. *)
 let pretty_config t id : Trait_lang.Pretty.config =
   {
-    Trait_lang.Pretty.qualified_paths = t.show_paths;
+    Trait_lang.Pretty.default with
+    qualified_paths = t.show_paths;
     max_depth = (if is_ty_expanded t id then 1000 else 2);
-    show_regions = false;
   }
 
 (** Should this goal node be shown at all?  Stateful normalization nodes

@@ -1,0 +1,54 @@
+(** The differential oracles: solve one L_TRAIT source several ways and
+    demand agreement.  Each oracle is a self-contained property of the
+    whole pipeline; the campaign driver runs a set of them over every
+    generated program.
+
+    Failure messages carry a stable [kind:] prefix (the oracle's name,
+    or [front-end] for load errors), which the shrinker uses to check a
+    reduced program still exhibits the {e same} divergence. *)
+
+type name =
+  | Wellformed
+      (** generated programs parse, resolve, and solve without error *)
+  | Cache
+      (** cache-off ≡ cache-cold ≡ cache-warm: statuses, rounds, proof
+          trees, and journal streams modulo cache_hit/cache_miss events *)
+  | Jobs
+      (** [--jobs 2] ≡ [--jobs 1] on a 3-copy batch: byte-level report /
+          diagnostic / journal fingerprints *)
+  | Journal
+      (** journal replay rebuilds exactly the solver's direct trace
+          forest *)
+  | Roundtrip
+      (** pretty-print → re-parse → re-resolve → re-solve reaches the
+          same verdicts and (span-insensitively) the same trees *)
+  | Intern
+      (** interner canonicality: a structural copy interns to the
+          physically identical term; interning is idempotent *)
+  | Determinism
+      (** two cold runs of the same source are byte-identical *)
+
+(** All oracles, in campaign execution order ({!Wellformed} first). *)
+val all : name list
+
+val to_string : name -> string
+val of_string : string -> name option
+
+(** One-line description (CLI listings, docs). *)
+val describe : name -> string
+
+type verdict = Pass | Fail of string
+
+(** The [kind:] prefix of a failure message ([front-end] for load
+    errors, otherwise the oracle name). *)
+val fail_kind : string -> string
+
+(** Fabricate a corpus-harness entry around a raw source string (id
+    [fuzz-<idx>]), so the batch machinery can solve generated programs. *)
+val entry : ?idx:int -> string -> Corpus.Harness.entry
+
+(** Run one oracle on one source program.  [pool] (when given) is reused
+    for the {!Jobs} oracle instead of spawning a transient 2-worker
+    pool.  Global evaluation-cache state is saved, used, and restored;
+    the cache is left enabled-as-before and cleared. *)
+val check : ?pool:Pool.t -> name -> source:string -> verdict

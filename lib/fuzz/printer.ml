@@ -1,0 +1,197 @@
+(** Program → surface syntax (see the interface).  Type- and
+    predicate-level rendering delegates to {!Trait_lang.Pretty} under the
+    [roundtrip] configuration; this module only contributes the
+    declaration scaffolding Pretty does not print (crate/mod wrappers,
+    trait bodies, impl bodies, goal lines). *)
+
+open Trait_lang
+
+let cfg = Pretty.roundtrip
+
+let ty t = Pretty.ty ~cfg t
+let pred p = Pretty.predicate ~cfg p
+let bound tr = Pretty.trait_ref ~cfg tr
+let bounds trs = String.concat " + " (List.map bound trs)
+
+let where_ ps = Pretty.where_clauses ~cfg ps
+
+(* Re-wrap an item in the [extern crate]/[mod] blocks its path encodes.
+   Blocks re-open freely (each is lowered independently), so every item
+   carries its own wrapper. *)
+let wrap ~(crate : Path.crate) ~(mods : string list) body =
+  let inner = List.fold_right (fun m acc -> "mod " ^ m ^ " { " ^ acc ^ " }") mods body in
+  match crate with
+  | Path.Local -> inner
+  | Path.External c -> "extern crate " ^ c ^ " { " ^ inner ^ " }"
+
+let wrap_path (p : Path.t) body =
+  let segs = Path.segments p in
+  let mods = List.filteri (fun i _ -> i < List.length segs - 1) segs in
+  wrap ~crate:(Path.crate p) ~mods body
+
+let tydecl (d : Decl.tydecl) =
+  let name = Path.name d.ty_path in
+  let g = Pretty.generics ~cfg d.ty_generics in
+  let body =
+    match d.ty_repr with
+    | None -> Printf.sprintf "struct %s%s%s;" name g (where_ d.ty_generics.where_clauses)
+    | Some repr ->
+        (* [newtype] takes no where-clause in the grammar *)
+        Printf.sprintf "newtype %s%s = %s;" name g (ty repr)
+  in
+  wrap_path d.ty_path body
+
+let assoc_decl (a : Decl.assoc_ty_decl) =
+  Printf.sprintf "type %s%s%s%s;" a.assoc_name
+    (Pretty.generics ~cfg a.assoc_generics)
+    (match a.assoc_bounds with [] -> "" | bs -> ": " ^ bounds bs)
+    (match a.assoc_default with None -> "" | Some t -> " = " ^ ty t)
+
+let method_sig (m : Decl.method_sig) =
+  Printf.sprintf "fn %s%s(self%s)%s%s;" m.m_name
+    (Pretty.generics ~cfg m.m_generics)
+    (match m.m_inputs with
+    | [] -> ""
+    | ins -> ", " ^ String.concat ", " (List.map ty ins))
+    (if Ty.equal m.m_output Ty.Unit then "" else " -> " ^ ty m.m_output)
+    (where_ m.m_generics.where_clauses)
+
+let trdecl (d : Decl.trdecl) =
+  let attr =
+    match d.tr_on_unimplemented with
+    | None -> ""
+    | Some msg -> Printf.sprintf "#[on_unimplemented(%S)] " msg
+  in
+  let items = List.map assoc_decl d.tr_assocs @ List.map method_sig d.tr_methods in
+  let body = match items with [] -> "{ }" | _ -> "{ " ^ String.concat " " items ^ " }" in
+  wrap_path d.tr_path
+    (Printf.sprintf "%strait %s%s%s%s %s" attr (Path.name d.tr_path)
+       (Pretty.generics ~cfg d.tr_generics)
+       (match d.tr_supertraits with [] -> "" | ss -> ": " ^ bounds ss)
+       (where_ d.tr_generics.where_clauses)
+       body)
+
+let impl (d : Decl.impl) =
+  let binding (b : Decl.assoc_ty_binding) =
+    Printf.sprintf "type %s%s = %s;" b.bind_name
+      (Pretty.generics ~cfg b.bind_generics)
+      (ty b.bind_ty)
+  in
+  let body =
+    match d.impl_assocs with
+    | [] -> "{ }"
+    | bs -> "{ " ^ String.concat " " (List.map binding bs) ^ " }"
+  in
+  wrap ~crate:d.impl_crate ~mods:[]
+    (Printf.sprintf "%s%s %s" (Pretty.impl_header ~cfg d)
+       (where_ d.impl_generics.where_clauses)
+       body)
+
+let fndecl (d : Decl.fndecl) =
+  (* signature only: a body would need named params and re-type-checking,
+     and the solver pipeline never looks at bodies *)
+  wrap_path d.fn_path
+    (Printf.sprintf "fn %s%s(%s)%s%s;" (Path.name d.fn_path)
+       (Pretty.generics ~cfg d.fn_generics)
+       (String.concat ", " (List.map ty d.fn_inputs))
+       (if Ty.equal d.fn_output Ty.Unit then "" else " -> " ^ ty d.fn_output)
+       (where_ d.fn_generics.where_clauses))
+
+let goal (g : Program.goal) =
+  Printf.sprintf "goal %s from %S;" (pred g.goal_pred) g.goal_origin
+
+(* --- Re-sugaring shared inference holes ---------------------------------
+
+   One surface goal [τ: A<X = u> + B] lowers to several Program goals —
+   the trait predicate of each bound followed by a projection predicate
+   per [X = u] binding — all sharing τ {e and its inference holes}.
+   Printing them as separate goal lines would give each [_] a fresh
+   hole (holes may sit in the self type or in the bound's arguments),
+   losing the sharing and shifting hole numbering for the rest of the
+   program.  Detect such runs (identical self type {e including hole
+   ids}, identical span and origin) and print them back as one bound
+   list with binding sugar — merging is faithful for ground groups
+   too, so every desugared run is re-sugared. *)
+
+let goal_self (g : Program.goal) : Ty.t option =
+  match g.goal_pred with
+  | Predicate.Trait { self_ty; _ } -> Some self_ty
+  | Predicate.Projection { projection = { self_ty; assoc_args = []; _ }; _ } ->
+      Some self_ty
+  | _ -> None
+
+exception Unmergeable
+
+let render_bound (tr : Ty.trait_ref) (bindings : (string * Ty.t) list) =
+  let args =
+    List.map
+      (function Ty.Ty t -> ty t | Ty.Lifetime r -> Region.to_string r)
+      tr.args
+    @ List.map (fun (a, t) -> a ^ " = " ^ ty t) bindings
+  in
+  match args with
+  | [] -> Path.name tr.trait
+  | _ -> Path.name tr.trait ^ "<" ^ String.concat ", " args ^ ">"
+
+let render_group (grp : Program.goal list) =
+  match grp with
+  | [ g ] -> goal g
+  | g0 :: _ -> begin
+      try
+        let bounds =
+          List.fold_left
+            (fun acc (g : Program.goal) ->
+              match g.goal_pred with
+              | Predicate.Trait { trait_ref; _ } -> (trait_ref, []) :: acc
+              | Predicate.Projection { projection = { proj_trait; assoc; _ }; term }
+                -> begin
+                  match acc with
+                  | (tr, binds) :: tl when Ty.equal_trait_ref tr proj_trait ->
+                      (tr, binds @ [ (assoc, term) ]) :: tl
+                  | _ -> raise Unmergeable
+                end
+              | _ -> raise Unmergeable)
+            [] grp
+          |> List.rev
+        in
+        let self =
+          match goal_self g0 with Some s -> s | None -> raise Unmergeable
+        in
+        Printf.sprintf "goal %s: %s from %S;" (ty self)
+          (String.concat " + " (List.map (fun (tr, bs) -> render_bound tr bs) bounds))
+          g0.goal_origin
+      with Unmergeable -> String.concat "\n" (List.map goal grp)
+    end
+  | [] -> ""
+
+let rec group_goals = function
+  | [] -> []
+  | (g : Program.goal) :: rest -> begin
+      match (g.goal_pred, goal_self g) with
+      | Predicate.Trait _, Some self ->
+          let belongs (h : Program.goal) =
+            Span.equal h.goal_span g.goal_span
+            && String.equal h.goal_origin g.goal_origin
+            && match goal_self h with Some s -> Ty.equal s self | None -> false
+          in
+          let rec take acc = function
+            | h :: t when belongs h -> take (h :: acc) t
+            | t -> (List.rev acc, t)
+          in
+          let grp, rest' = take [ g ] rest in
+          grp :: group_goals rest'
+      | _ -> [ g ] :: group_goals rest
+    end
+
+let program (p : Program.t) =
+  let buf = Buffer.create 2048 in
+  let line s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  List.iter (fun d -> line (tydecl d)) (Program.types p);
+  List.iter (fun d -> line (trdecl d)) (Program.traits p);
+  List.iter (fun d -> line (fndecl d)) (Program.fns p);
+  List.iter (fun d -> line (impl d)) (Program.impls p);
+  List.iter (fun grp -> line (render_group grp)) (group_goals (Program.goals p));
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Printing a resolved {!Trait_lang.Program.t} back to parseable
+    L_TRAIT surface syntax — the substrate of the round-trip oracle
+    (pretty-print → re-parse → re-resolve → re-solve must agree).
+
+    Items are re-wrapped in [extern crate c { ... }] / [mod m { ... }]
+    blocks reconstructed from their paths, so crate provenance (which the
+    orphan rule and the inertia heuristic observe) survives the trip.
+    Use sites print short names ({!Trait_lang.Pretty.roundtrip}), so the
+    output only re-resolves when item short names are globally unique —
+    true of every corpus program and of all generated programs by
+    construction.
+
+    Function {e bodies} are dropped (signatures are kept): body
+    type-checking is outside the solver pipeline the differential
+    oracles compare. *)
+
+(** Render the whole program: types, traits, fns, impls, then goals (in
+    goal insertion order, preserving [from] origins). *)
+val program : Trait_lang.Program.t -> string
+
+(** Render one goal line, [goal <pred> from "<origin>";]. *)
+val goal : Trait_lang.Program.goal -> string

@@ -1,0 +1,254 @@
+(** Greedy first-improvement shrinking (see the interface).  Candidate
+    reductions are enumerated lazily, most-aggressive first (whole
+    declarations before intra-declaration edits before type-subtree
+    simplification); the first accepted reduction restarts the scan. *)
+
+open Gen
+
+type result = { minimized : Gen.spec; steps : int; checks : int }
+
+(* ------------------------------------------------------------------ *)
+(* Type-subtree simplification: replace the [n]-th node (pre-order) of
+   a type with [i32].  Children of a replaced node are not visited, so
+   enumerating n from 0 while the total count shrinks terminates. *)
+
+let filler = Prim "i32"
+
+let rec replace_nth (counter : int ref) (t : ty) : ty =
+  if !counter < 0 then t
+  else if !counter = 0 then begin
+    decr counter;
+    filler
+  end
+  else begin
+    decr counter;
+    match t with
+    | Prim _ | Name (_, []) | Dyn _ | Hole -> t
+    | Name (n, args) -> Name (n, List.map (replace_nth counter) args)
+    | Tup ts -> Tup (List.map (replace_nth counter) ts)
+    | Ref t' -> Ref (replace_nth counter t')
+    | Fn_ptr (ins, out) ->
+        Fn_ptr (List.map (replace_nth counter) ins, Option.map (replace_nth counter) out)
+    | Proj (self, b, a) ->
+        Proj (replace_nth counter self, replace_nth_bound counter b, a)
+  end
+
+and replace_nth_bound counter (b : bound) : bound =
+  {
+    b with
+    b_args = List.map (replace_nth counter) b.b_args;
+    b_bindings = List.map (fun (n, t) -> (n, replace_nth counter t)) b.b_bindings;
+  }
+
+let replace_nth_pred counter (p : pred) : pred =
+  match p with
+  | P_trait (t, b) -> P_trait (replace_nth counter t, replace_nth_bound counter b)
+  | P_proj_eq (t, b, a, rhs) ->
+      P_proj_eq
+        (replace_nth counter t, replace_nth_bound counter b, a, replace_nth counter rhs)
+
+(* Replacing node [n] of the types embedded in a declaration; [None]
+   once [n] exceeds the node count (the counter never reached 0). *)
+let simplify_decl_ty (d : decl) (n : int) : decl option =
+  let counter = ref n in
+  let d' =
+    match d with
+    | Struct _ -> d
+    | Trait t ->
+        Trait
+          {
+            t with
+            t_supers = List.map (replace_nth_bound counter) t.t_supers;
+            t_assocs =
+              List.map
+                (fun a ->
+                  {
+                    a with
+                    a_bounds = List.map (replace_nth_bound counter) a.a_bounds;
+                    a_default = Option.map (replace_nth counter) a.a_default;
+                  })
+                t.t_assocs;
+          }
+    | Impl i ->
+        Impl
+          {
+            i with
+            i_trait = replace_nth_bound counter i.i_trait;
+            i_self = replace_nth counter i.i_self;
+            i_where = List.map (replace_nth_pred counter) i.i_where;
+            i_bindings = List.map (fun (nm, t) -> (nm, replace_nth counter t)) i.i_bindings;
+          }
+    | Goal p -> Goal (replace_nth_pred counter p)
+  in
+  if !counter >= 0 then None (* n was past the last node *)
+  else if d' = d then None (* replaced a node that was already [i32] *)
+  else Some d'
+
+(* ------------------------------------------------------------------ *)
+(* Struct elision: replace every use of a named struct with [i32]
+   across the whole spec, then drop its declaration.  Per-declaration
+   edits cannot perform this reduction — changing one use at a time
+   breaks impl/goal correspondence and masks the failure. *)
+
+let rec subst_ty name (t : ty) : ty =
+  match t with
+  | Name (n, _) when String.equal n name -> filler
+  | Name (n, args) -> Name (n, List.map (subst_ty name) args)
+  | Tup ts -> Tup (List.map (subst_ty name) ts)
+  | Ref t' -> Ref (subst_ty name t')
+  | Fn_ptr (ins, out) ->
+      Fn_ptr (List.map (subst_ty name) ins, Option.map (subst_ty name) out)
+  | Proj (self, b, a) -> Proj (subst_ty name self, subst_bound name b, a)
+  | Prim _ | Dyn _ | Hole -> t
+
+and subst_bound name (b : bound) : bound =
+  {
+    b with
+    b_args = List.map (subst_ty name) b.b_args;
+    b_bindings = List.map (fun (n, t) -> (n, subst_ty name t)) b.b_bindings;
+  }
+
+let subst_pred name (p : pred) : pred =
+  match p with
+  | P_trait (t, b) -> P_trait (subst_ty name t, subst_bound name b)
+  | P_proj_eq (t, b, a, rhs) ->
+      P_proj_eq (subst_ty name t, subst_bound name b, a, subst_ty name rhs)
+
+let subst_decl name (d : decl) : decl =
+  match d with
+  | Struct _ -> d
+  | Trait t ->
+      Trait
+        {
+          t with
+          t_supers = List.map (subst_bound name) t.t_supers;
+          t_assocs =
+            List.map
+              (fun a ->
+                {
+                  a with
+                  a_bounds = List.map (subst_bound name) a.a_bounds;
+                  a_default = Option.map (subst_ty name) a.a_default;
+                })
+              t.t_assocs;
+        }
+  | Impl i ->
+      Impl
+        {
+          i with
+          i_trait = subst_bound name i.i_trait;
+          i_self = subst_ty name i.i_self;
+          i_where = List.map (subst_pred name) i.i_where;
+          i_bindings = List.map (fun (n, t) -> (n, subst_ty name t)) i.i_bindings;
+        }
+  | Goal p -> Goal (subst_pred name p)
+
+(* ------------------------------------------------------------------ *)
+(* Candidate enumeration *)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+(* Intra-declaration reductions, in decreasing order of aggression. *)
+let decl_reductions (d : decl) : decl list =
+  match d with
+  | Struct _ -> []
+  | Trait t ->
+      List.init (List.length t.t_supers) (fun i ->
+          Trait { t with t_supers = drop_nth t.t_supers i })
+      @ List.init (List.length t.t_assocs) (fun i ->
+            Trait { t with t_assocs = drop_nth t.t_assocs i })
+  | Impl i ->
+      List.init (List.length i.i_where) (fun k ->
+          Impl { i with i_where = drop_nth i.i_where k })
+      @ List.init (List.length i.i_bindings) (fun k ->
+            Impl { i with i_bindings = drop_nth i.i_bindings k })
+  | Goal _ -> []
+
+(* All candidate reductions of [spec], lazily. *)
+let candidates (spec : spec) : spec Seq.t =
+  let n = List.length spec in
+  let drop_decl = Seq.init n (fun i -> drop_nth spec i) in
+  (* Chunk drops (ddmin-style): whole contiguous windows, largest first.
+     The generator emits each gadget's declarations adjacently, so a
+     window captures an entire self-supporting cluster that no sequence
+     of single drops could remove. *)
+  let drop_chunk =
+    let sizes =
+      List.sort_uniq (fun a b -> compare b a)
+        (List.filter (fun s -> s >= 3 && s < n) [ n - 2; 2 * n / 3; n / 2; n / 3; n / 4 ])
+    in
+    Seq.concat_map
+      (fun s ->
+        Seq.init (n - s + 1) (fun i -> List.filteri (fun k _ -> k < i || k >= i + s) spec))
+      (List.to_seq sizes)
+  in
+  let elide_struct =
+    Seq.filter_map
+      (fun i ->
+        match List.nth spec i with
+        | Struct s ->
+            Some (List.map (subst_decl s.s_name) (drop_nth spec i))
+        | _ -> None)
+      (Seq.init n Fun.id)
+  in
+  (* Pair drops let the scan escape local minima where a declaration and
+     its sole consumer (a goal and its supporting impl, say) must leave
+     together — each single drop alone would mask the failure. *)
+  let drop_pair =
+    Seq.concat_map
+      (fun i -> Seq.init (n - i - 1) (fun k -> drop_nth (drop_nth spec (i + k + 1)) i))
+      (Seq.init n Fun.id)
+  in
+  let intra =
+    Seq.concat_map
+      (fun i ->
+        let d = List.nth spec i in
+        Seq.map
+          (fun d' -> List.mapi (fun k x -> if k = i then d' else x) spec)
+          (List.to_seq (decl_reductions d)))
+      (Seq.init n Fun.id)
+  in
+  let simplify =
+    Seq.concat_map
+      (fun i ->
+        let d = List.nth spec i in
+        Seq.unfold
+          (fun n ->
+            match simplify_decl_ty d n with
+            | Some d' ->
+                Some (List.mapi (fun k x -> if k = i then d' else x) spec, n + 1)
+            | None -> if n < 256 then Some (spec, n + 1) else None)
+          0
+        |> Seq.filter (fun s -> s != spec))
+      (Seq.init n Fun.id)
+  in
+  List.fold_right Seq.append
+    [ drop_decl; elide_struct; drop_chunk; drop_pair; intra ]
+    simplify
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(max_checks = 1000) ~check ~kind (spec : spec) : result =
+  let checks = ref 0 in
+  let still_fails s =
+    incr checks;
+    match check (Gen.render s) with
+    | Oracle.Fail m -> String.equal (Oracle.fail_kind m) kind
+    | Oracle.Pass -> false
+  in
+  let rec loop spec steps =
+    if !checks >= max_checks then { minimized = spec; steps; checks = !checks }
+    else
+      let accepted =
+        Seq.find_map
+          (fun cand ->
+            if !checks >= max_checks then None
+            else if still_fails cand then Some cand
+            else None)
+          (candidates spec)
+      in
+      match accepted with
+      | Some smaller -> loop smaller (steps + 1)
+      | None -> { minimized = spec; steps; checks = !checks }
+  in
+  loop spec 0

@@ -1,0 +1,27 @@
+(** Greedy structural shrinking of a failing {!Gen.spec} to a (locally)
+    minimal counterexample.
+
+    Reductions: drop a declaration, drop an impl where-clause or assoc
+    binding, drop a trait supertrait or assoc decl, and replace embedded
+    type subtrees with [i32].  A reduction is kept only when the oracle
+    still fails {e with the same failure kind} ({!Oracle.fail_kind}) —
+    reductions that break loading change the kind to [front-end] and are
+    rejected automatically. *)
+
+type result = {
+  minimized : Gen.spec;
+  steps : int;  (** accepted reductions *)
+  checks : int;  (** oracle invocations spent *)
+}
+
+(** [run ~check ~kind spec] greedily minimizes [spec].  [check] renders
+    and judges a candidate (typically [fun src -> Oracle.check name
+    ~source:src]); [kind] is the failure kind of the original
+    counterexample.  [max_checks] (default 600) bounds total oracle
+    invocations. *)
+val run :
+  ?max_checks:int ->
+  check:(string -> Oracle.verdict) ->
+  kind:string ->
+  Gen.spec ->
+  result

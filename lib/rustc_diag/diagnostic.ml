@@ -34,7 +34,7 @@ type t = {
 
 (* rustc trims paths: print only the final segment, even when that
    collapses distinct types — deliberately reproducing the §2.1 flaw. *)
-let trimmed = { Pretty.qualified_paths = false; max_depth = 1000; show_regions = false }
+let trimmed = { Pretty.expanded with qualified_paths = false; max_depth = 1000 }
 
 (** Walk from the root towards the deepest failure, stopping at branch
     points (two or more failing candidates that each have failing

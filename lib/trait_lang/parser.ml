@@ -156,8 +156,15 @@ let rec ty st : Ast.raw_ty =
         expect st Token.RPAREN;
         let output = if eat st Token.ARROW then Some (ty st) else None in
         (* rustc prints fn items as [fn(τ̄) -> τ {name}]; accept that form
-           back (the signature is re-derived from the declaration) *)
-        if eat st Token.LBRACE then begin
+           back (the signature is re-derived from the declaration).  Only
+           when an identifier follows the brace: in [impl T for fn(A) { }]
+           the brace opens the impl body — which never starts with an
+           identifier — not a fn-item name. *)
+        if
+          peek_tok st = Token.LBRACE
+          && (match peek_tok2 st with Token.IDENT _ -> true | _ -> false)
+        then begin
+          expect st Token.LBRACE;
           let name = qname st in
           expect st Token.RBRACE;
           Ast.RFnItem (name, sp)

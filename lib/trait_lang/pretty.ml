@@ -17,16 +17,24 @@ type config = {
   qualified_paths : bool;  (** print full definition paths *)
   max_depth : int;  (** generic args deeper than this render as [...] *)
   show_regions : bool;  (** print lifetimes on references *)
+  surface_fn_items : bool;
+      (** print fn-item types in the parseable surface form [fn\[name\]]
+          instead of the rustc display form [fn(τ̄) -> τ {name}] *)
 }
 
-let default = { qualified_paths = false; max_depth = 2; show_regions = false }
+let default =
+  { qualified_paths = false; max_depth = 2; show_regions = false; surface_fn_items = false }
 
 (** rustc-like: fully qualified, effectively unbounded depth. *)
-let verbose = { qualified_paths = true; max_depth = 1000; show_regions = true }
+let verbose = { default with qualified_paths = true; max_depth = 1000; show_regions = true }
 
 (** Fully expanded but short paths: what Argus shows after the user clicks
     every ellipsis. *)
 let expanded = { default with max_depth = 1000 }
+
+(** Re-parseable: short paths (resolution is by name suffix), no depth
+    elision, no inference-variable ids, surface fn-item types. *)
+let roundtrip = { expanded with surface_fn_items = true }
 
 let path_str cfg p = if cfg.qualified_paths then Path.to_string p else Path.name p
 
@@ -83,6 +91,10 @@ and ty_buf cfg depth buf (t : Ty.t) =
       if not (Ty.equal ret Ty.Unit) then (
         add " -> ";
         ty_buf cfg (depth + 1) buf ret)
+  | FnItem (p, _, _) when cfg.surface_fn_items ->
+      add "fn[";
+      add (path_str cfg p);
+      add "]"
   | FnItem (p, args, ret) ->
       (* rustc style: [fn(Timer) {run_timer}] *)
       add "fn(";

@@ -6,6 +6,9 @@ type config = {
   qualified_paths : bool;  (** print full definition paths *)
   max_depth : int;  (** generic args deeper than this render as [...] *)
   show_regions : bool;
+  surface_fn_items : bool;
+      (** print fn-item types as the parseable [fn\[name\]] instead of the
+          rustc display form [fn(τ̄) -> τ {name}] *)
 }
 
 (** Argus defaults: short paths, ellipsis after depth 2. *)
@@ -16,6 +19,11 @@ val verbose : config
 
 (** Short paths, fully expanded (every ellipsis clicked open). *)
 val expanded : config
+
+(** Re-parseable output: short paths, no elision, surface fn-item types,
+    inference variables as [_].  {!Parser.parse} accepts everything this
+    configuration prints (the fuzzer's round-trip oracle relies on it). *)
+val roundtrip : config
 
 val ty : ?cfg:config -> ?depth:int -> Ty.t -> string
 val trait_ref : ?cfg:config -> Ty.trait_ref -> string

@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-json bench-journal bench-parallel bench-fuzz fuzz perf ci clean
+.PHONY: build test bench bench-json bench-journal bench-parallel bench-fuzz bench-diff fuzz perf profile ci clean
 
 build:
 	dune build @all
@@ -32,6 +32,24 @@ bench-parallel:
 bench-fuzz:
 	dune exec bench/main.exe -- --fuzz-only
 
+# Perf-regression gate: re-measure the machine-readable section and
+# compare it against the committed baseline (see docs/PERFORMANCE.md
+# for the thresholds). Exits nonzero when any metric breaches the fail
+# threshold; thresholds are generous because a 1-run remeasure on a
+# loaded machine is noisy.
+bench-diff:
+	cp BENCH_pipeline.json bench-baseline.json
+	dune exec bench/main.exe -- --json-only --runs 1 --warmup 1
+	dune exec bench/main.exe -- --diff bench-baseline.json BENCH_pipeline.json --warn-above 1.5 --fail-above 25
+
+# Per-goal cost attribution of the paper's diesel case study: hot-goal
+# table + agreement line on stdout, flamegraph artifacts next to it
+# (see docs/OBSERVABILITY.md, "Profiling and cost attribution").
+profile:
+	dune exec bin/argus_cli.exe -- profile --corpus diesel-missing-join \
+	  --flame argus-profile.folded --speedscope argus-profile.speedscope.json \
+	  --html argus-profile.html
+
 # Differential fuzzing campaign: 500 random programs through every
 # oracle at the pinned CI seed, shrinking any counterexample to a
 # replayable .trait repro under fuzz-repros/ (see docs/TESTING.md).
@@ -47,15 +65,18 @@ perf:
 
 # What CI runs: full build, full test suite, a parallel corpus smoke
 # (all bundled programs at --jobs 4), a 200-iteration fuzz smoke at the
-# pinned seed, and the bench smoke that regenerates BENCH_pipeline.json
-# (1 timed run, 1 warmup — correctness of the harness, not statistics).
+# pinned seed, the bench smoke that regenerates BENCH_pipeline.json
+# (1 timed run, 1 warmup — correctness of the harness, not statistics),
+# and the perf-regression gate against the committed baseline.
 ci:
 	dune build @all
 	dune runtest
 	dune exec bin/argus_cli.exe -- corpus --all --jobs 4
 	dune exec bin/argus_cli.exe -- fuzz --iters 200 --seed 42
+	cp BENCH_pipeline.json bench-baseline.json
 	dune exec bench/main.exe -- --json-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --parallel-only --runs 1 --warmup 1
+	dune exec bench/main.exe -- --diff bench-baseline.json BENCH_pipeline.json --warn-above 1.5 --fail-above 25
 
 clean:
 	dune clean

@@ -738,9 +738,71 @@ let bench_fuzz_json () =
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (* ------------------------------------------------------------------ *)
+(* --diff OLD NEW: the perf-regression gate.  Compares two
+   BENCH_pipeline.json files metric by metric (Profile.Bench_diff) and
+   exits 1 when any ratio breaches the fail threshold — CI runs this
+   against the committed baseline. *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let bench_diff ~warn_above ~fail_above old_path new_path =
+  let load which path =
+    try Argus_json.Json.of_string (read_whole_file path) with
+    | Sys_error m ->
+        Printf.eprintf "error: cannot read %s file: %s\n" which m;
+        exit 2
+    | Argus_json.Json.Parse_error (m, off) ->
+        Printf.eprintf "error: %s is not valid JSON: %s (byte %d)\n" path m off;
+        exit 2
+  in
+  let old_doc = load "OLD" old_path and new_doc = load "NEW" new_path in
+  let report =
+    try Profile.Bench_diff.diff ?warn_above ?fail_above ~old_doc ~new_doc ()
+    with Invalid_argument m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+  in
+  Printf.printf "comparing %s (old) vs %s (new)\n" old_path new_path;
+  print_string (Profile.Bench_diff.to_string report);
+  exit (Profile.Bench_diff.exit_code report)
 
 let () =
   let argv = Sys.argv in
+  (* --diff short-circuits the whole harness: no benchmarks run *)
+  (match Array.to_list argv |> List.tl with
+  | args when List.mem "--diff" args ->
+      let rec positionals = function
+        | ("--warn-above" | "--fail-above") :: _ :: rest -> positionals rest
+        | a :: rest when String.length a > 0 && a.[0] = '-' -> positionals rest
+        | a :: rest -> a :: positionals rest
+        | [] -> []
+      in
+      let rec positional_after_diff = function
+        | "--diff" :: rest -> positionals rest
+        | _ :: rest -> positional_after_diff rest
+        | [] -> []
+      in
+      let float_opt flag =
+        let rec go = function
+          | f :: v :: _ when f = flag -> float_of_string_opt v
+          | _ :: rest -> go rest
+          | [] -> None
+        in
+        go args
+      in
+      (match positional_after_diff args with
+      | [ old_path; new_path ] ->
+          bench_diff ~warn_above:(float_opt "--warn-above")
+            ~fail_above:(float_opt "--fail-above") old_path new_path
+      | _ ->
+          prerr_endline
+            "usage: bench --diff OLD.json NEW.json [--warn-above F] [--fail-above F]";
+          exit 2)
+  | _ -> ());
   Array.iteri
     (fun i a ->
       let next_int () =

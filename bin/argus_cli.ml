@@ -9,6 +9,8 @@
     - [bottom-up] / [top-down]: the Argus views, fully expanded;
     - [inertia]: the MCSes and ranked root-cause candidates;
     - [diag]: only the compiler-style diagnostic;
+    - [profile]: per-goal cost attribution (hot-goal table, flamegraphs,
+      heat-annotated proof trees);
     - [json]: the serialized report for external tooling;
     - [corpus]: list or run the bundled evaluation programs;
     - [study]: run the simulated user study;
@@ -88,6 +90,16 @@ let no_cache_arg =
            memoization). Every goal is re-evaluated from scratch; useful for \
            timing comparisons and for isolating cache-related behavior.")
 
+let trace_buffer_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-buffer" ] ~docv:"N"
+        ~doc:
+          "Cap the per-domain telemetry event buffer at $(docv) events \
+           (default 65536, minimum 256). The $(b,--profile) report counts \
+           events dropped at the cap; raise it for long runs that truncate.")
+
 (* Open the events file eagerly (header first, so it is well-formed even
    if the run aborts) and close it at exit, because subcommands
    terminate through [exit n]. *)
@@ -112,8 +124,9 @@ let write_event oc e =
    [check] handles --events-out itself (it buffers per-file journal
    streams and concatenates them deterministically); the single-file
    subcommands stream straight to the file. *)
-let observability_setup profile trace_out no_cache =
+let observability_setup profile trace_out no_cache trace_buffer =
   if no_cache then Solver.Eval_cache.set_enabled false;
+  Option.iter Telemetry.set_max_events trace_buffer;
   if profile || trace_out <> None then begin
     Telemetry.enable ();
     (* at_exit, because subcommands terminate through [exit n] *)
@@ -134,8 +147,8 @@ let observability_setup profile trace_out no_cache =
         if profile then prerr_string (Telemetry.report_to_string sn))
   end
 
-let telemetry_setup profile trace_out events_out no_cache =
-  observability_setup profile trace_out no_cache;
+let telemetry_setup profile trace_out events_out no_cache trace_buffer =
+  observability_setup profile trace_out no_cache trace_buffer;
   match events_out with
   | None -> ()
   | Some path ->
@@ -143,7 +156,9 @@ let telemetry_setup profile trace_out events_out no_cache =
       Journal.set_sink (Some (write_event oc))
 
 let telemetry_term =
-  Term.(const telemetry_setup $ profile_arg $ trace_out_arg $ events_out_arg $ no_cache_arg)
+  Term.(
+    const telemetry_setup $ profile_arg $ trace_out_arg $ events_out_arg $ no_cache_arg
+    $ trace_buffer_arg)
 
 (* ------------------------------------------------------------------ *)
 (* --jobs *)
@@ -208,7 +223,7 @@ type check_unit_result = {
   u_out : string;  (** buffered stdout *)
   u_err : string option;  (** load (parse/resolve/IO) failure *)
   u_issues : int;
-  u_journal : Journal.entry list;  (** ts normalized to 0 *)
+  u_journal : Journal.entry list;  (** ts normalized to 0 unless [--timestamps] *)
   u_ids : int;  (** journal node IDs consumed (from 0) *)
   u_snaps : int;  (** snapshot serials consumed (from 0) *)
 }
@@ -218,7 +233,7 @@ type check_unit_result = {
    journal stream — is a pure function of the file, independent of
    scheduling.  Never exits: load failures are captured for the driver
    to report in input order. *)
-let check_unit ~no_coherence ~journal path : check_unit_result =
+let check_unit ~no_coherence ~journal ~timestamps path : check_unit_result =
   Journal.reset ();
   Solver.Infer_ctx.reset_snapshot_serial ();
   let buf = Buffer.create 1024 in
@@ -327,20 +342,22 @@ let check_unit ~no_coherence ~journal path : check_unit_result =
     u_out = Buffer.contents buf;
     u_err = err;
     u_issues = !issues;
-    u_journal = List.map (fun (e : Journal.entry) -> { e with Journal.ts_ns = 0 }) entries;
+    u_journal =
+      (if timestamps then entries
+       else List.map (fun (e : Journal.entry) -> { e with Journal.ts_ns = 0 }) entries);
     u_ids = Journal.peek_id ();
     u_snaps = Solver.Infer_ctx.snapshot_serial ();
   }
 
 let check_cmd =
-  let run () events_out files no_coherence jobs =
+  let run () events_out files no_coherence timestamps jobs =
     let jobs = resolve_jobs jobs in
     let events_oc = Option.map open_events_file events_out in
     let journal = events_oc <> None in
     (* Never spawn more workers than there are files; one file (or
        --jobs 1) is the plain sequential path, no domain spawned. *)
     let jobs = min jobs (List.length files) in
-    let results = Pool.run ~jobs (check_unit ~no_coherence ~journal) files in
+    let results = Pool.run ~jobs (check_unit ~no_coherence ~journal ~timestamps) files in
     let many = List.length files > 1 in
     let any_load_error = ref false in
     let total_issues = ref 0 in
@@ -383,8 +400,20 @@ let check_cmd =
   let no_coherence =
     Arg.(value & flag & info [ "no-coherence" ] ~doc:"Skip overlap/orphan/WF checks.")
   in
+  let timestamps =
+    Arg.(
+      value & flag
+      & info [ "timestamps" ]
+          ~doc:
+            "Keep real $(b,ts_ns) timestamps in the $(b,--events-out) journal \
+             instead of normalizing them to 0. Needed for $(b,argus profile) \
+             and $(b,argus explain --timings) on the journal; the journal is \
+             then no longer byte-identical across $(b,--jobs) counts.")
+  in
   let observability_term =
-    Term.(const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg)
+    Term.(
+      const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg
+      $ trace_buffer_arg)
   in
   let exits =
     Cmd.Exit.info 1 ~doc:"on trait-solving or type-checking failures."
@@ -398,7 +427,9 @@ let check_cmd =
          "Type-check files: coherence, orphan rule, impl WF, and all goals. \
           Multiple files are solved in parallel under $(b,--jobs), with output \
           in input order.")
-    Term.(const run $ observability_term $ events_out_arg $ files_arg $ no_coherence $ jobs_arg)
+    Term.(
+      const run $ observability_term $ events_out_arg $ files_arg $ no_coherence
+      $ timestamps $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* views *)
@@ -664,11 +695,21 @@ let explain_cmd =
       (Journal.source_to_string c.Journal.rc_source)
       status
   in
-  let print_goal (t : Journal.replay_tree) (g : Journal.rgoal) =
+  (* Under --timings, [prof] maps stable node IDs to wall-time figures
+     attributed from the journal's ts_ns deltas. *)
+  let time_suffix prof id =
+    match Option.bind prof (fun p -> Profile.heat_of_id p id) with
+    | Some (_, label) -> Printf.sprintf "  [%s]" label
+    | None -> ""
+  in
+  let print_goal ?prof (t : Journal.replay_tree) (g : Journal.rgoal) =
     Printf.printf "goal #%d: %s\n" g.Journal.rg_id (pp_pred g.Journal.rg_pred);
     Printf.printf "  result: %s\n" (Journal.res_to_string g.Journal.rg_result);
     Printf.printf "  depth: %d\n" g.Journal.rg_depth;
     Printf.printf "  provenance: %s\n" (Journal.prov_to_string g.Journal.rg_prov);
+    (match Option.bind prof (fun p -> Profile.heat_of_id p g.Journal.rg_id) with
+    | Some (_, label) -> Printf.printf "  time: %s\n" label
+    | None -> ());
     if g.Journal.rg_flags <> [] then
       Printf.printf "  flags: %s\n"
         (String.concat ", " (List.map Journal.flag_to_string g.Journal.rg_flags));
@@ -701,10 +742,13 @@ let explain_cmd =
         Printf.printf "  candidates (%d):\n" (List.length cands);
         List.iter (cand_line ~indent:"    ") cands
   in
-  let print_cand (t : Journal.replay_tree) (c : Journal.rcand) =
+  let print_cand ?prof (t : Journal.replay_tree) (c : Journal.rcand) =
     Printf.printf "candidate #%d: %s\n" c.Journal.rc_id
       (Journal.source_to_string c.Journal.rc_source);
     Printf.printf "  result: %s\n" (Journal.res_to_string c.Journal.rc_result);
+    (match Option.bind prof (fun p -> Profile.heat_of_id p c.Journal.rc_id) with
+    | Some (_, label) -> Printf.printf "  time: %s\n" label
+    | None -> ());
     (match Hashtbl.find_opt t.Journal.rt_parent c.Journal.rc_id with
     | Some p -> (
         match Hashtbl.find_opt t.Journal.rt_goals p with
@@ -720,7 +764,7 @@ let explain_cmd =
     | None -> ());
     Printf.printf "  subgoals: %d\n" (List.length c.Journal.rc_subgoals)
   in
-  let run () file node_id failures =
+  let run () file node_id failures timings =
     let text =
       try read_file file
       with Sys_error m ->
@@ -733,6 +777,18 @@ let explain_cmd =
         Printf.eprintf "error: %s: %s at %s\n" file e.message e.path;
         exit 2
     in
+    let prof =
+      if not timings then None
+      else begin
+        let p = Profile.of_entries entries in
+        if p.Profile.zero_ts then
+          prerr_endline
+            "warning: journal timestamps are normalized to 0 (argus check does \
+             this for determinism) — no wall time to report; re-record with \
+             `argus check --timestamps` or a single-file subcommand";
+        Some p
+      end
+    in
     match Journal.replay entries with
     | Error m ->
         Printf.eprintf "error: inconsistent journal: %s\n" m;
@@ -744,8 +800,8 @@ let explain_cmd =
               ( Hashtbl.find_opt tree.Journal.rt_goals id,
                 Hashtbl.find_opt tree.Journal.rt_cands id )
             with
-            | Some g, _ -> print_goal tree g
-            | None, Some c -> print_cand tree c
+            | Some g, _ -> print_goal ?prof tree g
+            | None, Some c -> print_cand ?prof tree c
             | None, None ->
                 Printf.eprintf "error: no event node with ID %d\n" id;
                 exit 1)
@@ -756,13 +812,15 @@ let explain_cmd =
                   match Journal.failed_leaves root with
                   | [] -> ()
                   | leaves ->
-                      Printf.printf "root #%d: %s [%s]\n" root.Journal.rg_id
+                      Printf.printf "root #%d: %s [%s]%s\n" root.Journal.rg_id
                         (pp_pred root.Journal.rg_pred)
-                        (Journal.res_to_string root.Journal.rg_result);
+                        (Journal.res_to_string root.Journal.rg_result)
+                        (time_suffix prof root.Journal.rg_id);
                       List.iter
                         (fun (g : Journal.rgoal) ->
-                          Printf.printf "  failed leaf #%d: %s\n" g.Journal.rg_id
-                            (pp_pred g.Journal.rg_pred);
+                          Printf.printf "  failed leaf #%d: %s%s\n" g.Journal.rg_id
+                            (pp_pred g.Journal.rg_pred)
+                            (time_suffix prof g.Journal.rg_id);
                           List.iter
                             (fun (c : Journal.rcand) ->
                               if c.Journal.rc_failure <> None then
@@ -781,9 +839,10 @@ let explain_cmd =
                 (List.length failed);
               List.iter
                 (fun (root : Journal.rgoal) ->
-                  Printf.printf "  root #%d [%s] %s\n" root.Journal.rg_id
+                  Printf.printf "  root #%d [%s] %s%s\n" root.Journal.rg_id
                     (Journal.res_to_string root.Journal.rg_result)
-                    (pp_pred root.Journal.rg_pred))
+                    (pp_pred root.Journal.rg_pred)
+                    (time_suffix prof root.Journal.rg_id))
                 tree.Journal.rt_roots;
               if failed <> [] then
                 print_endline
@@ -810,6 +869,16 @@ let explain_cmd =
       & info [ "failures" ]
           ~doc:"Narrate every failed leaf goal and its rejecting unification.")
   in
+  let timings_arg =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:
+            "Annotate goals with self/total wall time attributed from the \
+             journal's $(b,ts_ns) deltas. Requires a journal with real \
+             timestamps ($(b,argus check --timestamps), or any single-file \
+             subcommand's $(b,--events-out)).")
+  in
   let exits =
     Cmd.Exit.info 1 ~doc:"when $(b,--node) $(i,ID) does not exist in the journal."
     :: Cmd.Exit.info 2 ~doc:"on unreadable, malformed, or inconsistent journal files."
@@ -820,7 +889,258 @@ let explain_cmd =
        ~doc:
          "Reconstruct the solver search from a journal file and print a \
           provenance narrative")
-    Term.(const run $ telemetry_term $ events_file_arg $ node_arg $ failures_arg)
+    Term.(const run $ telemetry_term $ events_file_arg $ node_arg $ failures_arg $ timings_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile *)
+
+let profile_cmd =
+  let all_corpus () =
+    Corpus.Suite.entries @ Corpus.Suite.extended @ Corpus.Suite.extras
+    @ Corpus.Suite.extended_ok
+  in
+  let write_file path contents =
+    try
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents);
+      Printf.printf "profile: wrote %s\n" path
+    with Sys_error m ->
+      prerr_endline ("error: cannot write " ^ path ^ ": " ^ m);
+      exit 2
+  in
+  (* A proof-tree node's journal ID, for joining cost data back onto the
+     rendered tree (negative IDs are synthetic nodes with no frame). *)
+  let node_trace_id (n : Argus.Proof_tree.node) =
+    match n.kind with
+    | Argus.Proof_tree.Goal g -> g.trace_id
+    | Argus.Proof_tree.Cand c -> c.cand_trace_id
+  in
+  let heat_fn prof (n : Argus.Proof_tree.node) =
+    let id = node_trace_id n in
+    if id < 0 then None else Profile.heat_of_id prof id
+  in
+  (* A journal file's first line carries the argus.journal schema tag;
+     anything else is treated as L_TRAIT source. *)
+  let is_journal_text text =
+    let first =
+      match String.index_opt text '\n' with
+      | Some i -> String.sub text 0 i
+      | None -> text
+    in
+    let needle = "argus.journal" in
+    let n = String.length needle and len = String.length first in
+    let rec go i =
+      i + n <= len && (String.sub first i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  let run () file corpus top flame speedscope html_out tree_flag =
+    let input =
+      match (corpus, file) with
+      | Some id, _ -> (
+          match
+            List.find_opt (fun (e : Corpus.Harness.entry) -> e.id = id) (all_corpus ())
+          with
+          | None ->
+              prerr_endline ("error: unknown corpus entry: " ^ id);
+              exit 2
+          | Some e -> (
+              try `Live (Corpus.Harness.load e)
+              with Corpus.Harness.Corpus_error m ->
+                prerr_endline ("error: " ^ m);
+                exit 2))
+      | None, Some path ->
+          let text =
+            try read_file path
+            with Sys_error m ->
+              prerr_endline ("error: " ^ m);
+              exit 2
+          in
+          if is_journal_text text then
+            let entries =
+              try Argus_json.Journal_codec.of_jsonl text
+              with Argus_json.Decode.Decode_error e ->
+                Printf.eprintf "error: %s: %s at %s\n" path e.message e.path;
+                exit 2
+            in
+            `Offline entries
+          else `Live (or_die (load_program path))
+      | None, None ->
+          prerr_endline
+            "error: need an input: FILE (an L_TRAIT program or an --events-out \
+             journal) or --corpus ID";
+          exit 2
+    in
+    let prof, live =
+      match input with
+      | `Offline entries -> (Profile.of_entries entries, None)
+      | `Live program ->
+          (* telemetry on, so the solver.solve span is recorded and the
+             attributed total can be cross-checked against it below *)
+          Telemetry.enable ();
+          let report, entries, words =
+            Profile.record (fun () -> Solver.Obligations.solve_program program)
+          in
+          (Profile.of_entries ~words entries, Some (program, report))
+    in
+    print_string (Profile.top_table ~top prof);
+    (* Cross-check: the journal-attributed total should agree with the
+       independently clocked solver.solve telemetry span. *)
+    (match live with
+    | None -> ()
+    | Some _ -> (
+        let sn = Telemetry.snapshot () in
+        match
+          List.find_opt
+            (fun (h : Telemetry.hist_summary) -> h.hs_name = "solver.solve")
+            sn.sn_spans
+        with
+        | Some h when h.hs_sum_ns > 0 && prof.Profile.total_ns > 0 ->
+            let delta =
+              100.
+              *. (float_of_int prof.Profile.total_ns -. float_of_int h.hs_sum_ns)
+              /. float_of_int h.hs_sum_ns
+            in
+            Printf.printf
+              "agreement: profile %s vs solver.solve span %s (delta %+.1f%%)\n"
+              (Telemetry.format_ns (float_of_int prof.Profile.total_ns))
+              (Telemetry.format_ns (float_of_int h.hs_sum_ns))
+              delta
+        | _ -> ()));
+    let input_name =
+      match (corpus, file) with
+      | Some id, _ -> id
+      | _, Some p -> Filename.basename p
+      | _ -> "argus"
+    in
+    (match flame with
+    | None -> ()
+    | Some path -> write_file path (Argus_json.Flame.folded (Profile.folded prof)));
+    (match speedscope with
+    | None -> ()
+    | Some path ->
+        let events, end_at = Profile.frame_events prof in
+        write_file path
+          (Argus_json.Json.to_string_pretty
+             (Argus_json.Flame.speedscope ~name:input_name ~end_at events)));
+    (match (tree_flag, live) with
+    | true, Some (_, report) ->
+        List.iter
+          (fun (r : Solver.Obligations.goal_report) ->
+            if r.status <> Solver.Obligations.Proved then begin
+              let tree = Argus.Extract.of_report r in
+              print_endline
+                (Argus.Render.tree_to_string
+                   ~annot:(fun n -> Option.map snd (heat_fn prof n))
+                   tree);
+              print_newline ()
+            end)
+          report.reports
+    | true, None ->
+        prerr_endline
+          "warning: --tree needs a live input (a program, not a journal); ignored"
+    | false, _ -> ());
+    match (html_out, live) with
+    | Some out, Some (program, report) -> (
+        match
+          List.find_opt
+            (fun (r : Solver.Obligations.goal_report) ->
+              r.status <> Solver.Obligations.Proved)
+            report.reports
+        with
+        | None -> prerr_endline "profile: no trait errors — no HTML tree to render"
+        | Some r ->
+            let tree = Argus.Extract.of_report r in
+            let diag =
+              Rustc_diag.Diagnostic.to_string
+                (Rustc_diag.Diagnostic.of_tree program r.goal tree)
+            in
+            let html =
+              Argus.Html.page
+                ~title:(Printf.sprintf "Cost profile of %s" input_name)
+                ~heat:(heat_fn prof) ~program ~diagnostic:(Some diag) tree
+            in
+            write_file out html)
+    | Some _, None ->
+        prerr_endline
+          "warning: --html needs a live input (a program, not a journal); ignored"
+    | None, _ -> ()
+  in
+  let file_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Input: an L_TRAIT program (solved live, with GC allocation \
+             sampling) or a journal written by $(b,--events-out) (attributed \
+             offline from its $(b,ts_ns) deltas).")
+  in
+  let corpus_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"ID"
+          ~doc:"Profile the bundled corpus entry $(docv) instead of a file.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the hot-goal table (default 10).")
+  in
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"OUT.folded"
+          ~doc:
+            "Write a collapsed/folded stack file (one `frame;frame value` line \
+             per stack, self time in nanoseconds) for flamegraph.pl or inferno.")
+  in
+  let speedscope_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "speedscope" ] ~docv:"OUT.json"
+          ~doc:"Write an evented speedscope profile, loadable at speedscope.app.")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"OUT.html"
+          ~doc:
+            "Render the first failing goal's proof tree as HTML with heat \
+             overlays: background tint by self time, cost figures per node. \
+             Live inputs only.")
+  in
+  let tree_arg =
+    Arg.(
+      value & flag
+      & info [ "tree" ]
+          ~doc:
+            "Print each failing goal's proof tree with per-node cost \
+             annotations. Live inputs only.")
+  in
+  let observability_term =
+    Term.(
+      const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg
+      $ trace_buffer_arg)
+  in
+  let exits =
+    Cmd.Exit.info 2 ~doc:"on unreadable or malformed inputs, or unwritable outputs."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "profile" ~exits
+       ~doc:
+         "Per-goal cost attribution: fold the search journal into a \
+          cost-annotated goal tree (self/total wall time, unify attempts, \
+          cache hits/misses, sampled GC words) and export it as a hot-goal \
+          table, flamegraphs, or a heat-annotated HTML proof tree.")
+    Term.(
+      const run $ observability_term $ file_opt_arg $ corpus_id_arg $ top_arg
+      $ flame_arg $ speedscope_arg $ html_arg $ tree_arg)
 
 (* ------------------------------------------------------------------ *)
 (* interactive *)
@@ -1089,7 +1409,9 @@ let fuzz_cmd =
           ~doc:"Re-run the oracle matrix over a saved repro instead of generating.")
   in
   let observability_term =
-    Term.(const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg)
+    Term.(
+      const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg
+      $ trace_buffer_arg)
   in
   let exits =
     Cmd.Exit.info 1 ~doc:"when a counterexample is found (or a replayed repro still fails)."
@@ -1109,7 +1431,7 @@ let fuzz_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let version = "1.5.0"
+let version = "1.6.0"
 
 (* With no subcommand: honour -V (short for the auto-generated
    --version), otherwise show the help page. *)
@@ -1138,6 +1460,7 @@ let main =
       corpus_cmd;
       study_cmd;
       explain_cmd;
+      profile_cmd;
       interactive_cmd;
       fuzz_cmd;
     ]

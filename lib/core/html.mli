@@ -1,20 +1,37 @@
 (** A standalone HTML embedding of the Argus view (§3.2: "... can also be
     embedded in other contexts, such as in an online textbook").
     CollapseSeq becomes [<details>] disclosure, ShortTys a hover tooltip
-    of fully-qualified paths, CtxtLinks footnoted source locations. *)
+    of fully-qualified paths, CtxtLinks footnoted source locations.
+
+    Every entry point takes an optional [heat] callback mapping a node to
+    a cost annotation: a relative intensity in [0, 1] (drives an orange
+    background tint) and a label appended to the row (e.g. ["self 1.2us
+    (34%) · total 5.6us"] from [Profile.heat_of_id]).  Nodes mapped to
+    [None] render exactly as before. *)
 
 val escape : string -> string
 
 (** One node's row markup (without disclosure structure). *)
-val node_label : ?program:Trait_lang.Program.t -> View_state.t -> Proof_tree.node -> string
+val node_label :
+  ?program:Trait_lang.Program.t ->
+  ?heat:(Proof_tree.node -> (float * string) option) ->
+  View_state.t ->
+  Proof_tree.node ->
+  string
 
 (** Render one view in its current direction and expansion state. *)
-val view_to_html : ?program:Trait_lang.Program.t -> View_state.t -> string
+val view_to_html :
+  ?program:Trait_lang.Program.t ->
+  ?heat:(Proof_tree.node -> (float * string) option) ->
+  View_state.t ->
+  string
 
 (** A complete standalone page: the compiler diagnostic (if any) followed
-    by both Argus views with their first levels pre-expanded. *)
+    by both Argus views with their first levels pre-expanded.  With
+    [heat], a legend explaining the tint precedes the views. *)
 val page :
   ?title:string ->
+  ?heat:(Proof_tree.node -> (float * string) option) ->
   program:Trait_lang.Program.t ->
   diagnostic:string option ->
   Proof_tree.t ->

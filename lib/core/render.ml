@@ -56,8 +56,10 @@ let sp_render = Telemetry.span "render"
 let sp_view = Telemetry.span "render.view"
 let c_lines = Telemetry.counter "render.lines.max"
 
-(** Render the current view to lines. *)
-let view (vs : View_state.t) : line list =
+(** Render the current view to lines.  [annot] appends a per-node
+    suffix to the row text (e.g. [explain --timings] cost figures). *)
+let view ?(annot : (Proof_tree.node -> string option) option) (vs : View_state.t) :
+    line list =
   let tok = Telemetry.begin_ sp_view in
   let lines = ref [] in
   let index = ref 0 in
@@ -66,6 +68,12 @@ let view (vs : View_state.t) : line list =
     incr index;
     lines := l :: !lines
   in
+  let annotated n =
+    let base = node_text vs n in
+    match Option.bind annot (fun f -> f n) with
+    | Some suffix -> base ^ "  [" ^ suffix ^ "]"
+    | None -> base
+  in
   let rec walk indent (n : Proof_tree.node) =
     let children = View_state.visible_children vs n in
     let expander =
@@ -73,7 +81,7 @@ let view (vs : View_state.t) : line list =
       else if View_state.is_expanded vs n.id then Open
       else Closed
     in
-    emit n.id indent expander (node_text vs n);
+    emit n.id indent expander (annotated n);
     if expander = Open then List.iter (walk (indent + 1)) children
   in
   let shown, folded = View_state.roots_split vs in
@@ -92,14 +100,14 @@ let line_to_string (l : line) =
 
 (** Render the whole view as one string, with the minibuffer (hover
     paths) appended when active. *)
-let to_string (vs : View_state.t) : string =
+let to_string ?annot (vs : View_state.t) : string =
   let tok = Telemetry.begin_ sp_render in
   let header =
     match vs.direction with
     | View_state.Bottom_up -> "── Bottom Up ──"
     | View_state.Top_down -> "── Top Down ──"
   in
-  let body = view vs |> List.map line_to_string in
+  let body = view ?annot vs |> List.map line_to_string in
   let mini =
     match View_state.minibuffer vs with
     | [] -> []
@@ -112,7 +120,7 @@ let to_string (vs : View_state.t) : string =
 (** Convenience: fully expanded one-shot rendering of a tree in a given
     direction (what the non-interactive CLI prints). *)
 let tree_to_string ?(direction = View_state.Bottom_up) ?(ranker = Heuristics.by_inertia)
-    ?(show_all_predicates = false) tree =
+    ?(show_all_predicates = false) ?annot tree =
   let vs = View_state.create ~direction ~ranker tree in
   let vs = if show_all_predicates then View_state.toggle_all_predicates vs else vs in
-  to_string (View_state.expand_all vs)
+  to_string ?annot (View_state.expand_all vs)

@@ -22,13 +22,15 @@ type line = {
 (** Row text for a single node under the view's printing options. *)
 val node_text : View_state.t -> Proof_tree.node -> string
 
-(** Render the current view to lines. *)
-val view : View_state.t -> line list
+(** Render the current view to lines.  [annot] appends a bracketed
+    per-node suffix to the row text — e.g. [explain --timings] supplies
+    per-goal self/total wall time from the journal. *)
+val view : ?annot:(Proof_tree.node -> string option) -> View_state.t -> line list
 
 val line_to_string : line -> string
 
 (** Render the whole view as one string, minibuffer included. *)
-val to_string : View_state.t -> string
+val to_string : ?annot:(Proof_tree.node -> string option) -> View_state.t -> string
 
 (** Fully-expanded one-shot rendering of a tree (what the
     non-interactive CLI prints). *)
@@ -36,5 +38,6 @@ val tree_to_string :
   ?direction:View_state.direction ->
   ?ranker:Heuristics.ranker ->
   ?show_all_predicates:bool ->
+  ?annot:(Proof_tree.node -> string option) ->
   Proof_tree.t ->
   string

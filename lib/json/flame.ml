@@ -1,0 +1,180 @@
+(** Flamegraph encoders: the collapsed/folded stack format consumed by
+    flamegraph.pl / inferno, and the speedscope JSON file format.  Both
+    are generic over (frame label, value) data; {!Profile} supplies the
+    solver's cost-annotated goal tree. *)
+
+(* ------------------------------------------------------------------ *)
+(* Folded stacks *)
+
+let sanitize_frame s =
+  String.map (function ';' -> ',' | '\n' | '\r' -> ' ' | c -> c) s
+
+let folded rows =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (stack, value) ->
+      if value > 0 && stack <> [] then begin
+        Buffer.add_string buf
+          (String.concat ";" (List.map sanitize_frame stack));
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int value);
+        Buffer.add_char buf '\n'
+      end)
+    rows;
+  Buffer.contents buf
+
+let folded_total rows =
+  List.fold_left (fun acc (_, v) -> if v > 0 then acc + v else acc) 0 rows
+
+let parse_folded text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" then None
+         else
+           match String.rindex_opt line ' ' with
+           | None -> failwith ("folded: no value field in line: " ^ line)
+           | Some i ->
+               let stack_s = String.sub line 0 i in
+               let value_s = String.sub line (i + 1) (String.length line - i - 1) in
+               let value =
+                 match int_of_string_opt value_s with
+                 | Some v -> v
+                 | None -> failwith ("folded: bad value in line: " ^ line)
+               in
+               Some (String.split_on_char ';' stack_s, value))
+
+(* ------------------------------------------------------------------ *)
+(* Speedscope *)
+
+type frame_event = { fe_frame : string; fe_open : bool; fe_at : int }
+
+let well_nested events =
+  let rec go stack last = function
+    | [] -> stack = []
+    | { fe_at; _ } :: _ when fe_at < last -> false
+    | { fe_open = true; fe_frame; fe_at } :: rest -> go (fe_frame :: stack) fe_at rest
+    | { fe_open = false; fe_frame; fe_at } :: rest -> (
+        match stack with
+        | top :: stack' when String.equal top fe_frame -> go stack' fe_at rest
+        | _ -> false)
+  in
+  go [] min_int events
+
+let speedscope ?(name = "argus profile") ?end_at events =
+  if not (well_nested events) then
+    invalid_arg "Flame.speedscope: events are not well-nested";
+  let end_at =
+    match end_at with
+    | Some e -> e
+    | None -> List.fold_left (fun acc e -> max acc e.fe_at) 0 events
+  in
+  (* shared frame table: first-appearance order, deduplicated by name *)
+  let frame_index : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let frames = ref [] in
+  let index_of label =
+    match Hashtbl.find_opt frame_index label with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length frame_index in
+        Hashtbl.add frame_index label i;
+        frames := label :: !frames;
+        i
+  in
+  let events_json =
+    List.map
+      (fun e ->
+        Json.Obj
+          [
+            ("type", Json.String (if e.fe_open then "O" else "C"));
+            ("frame", Json.Int (index_of e.fe_frame));
+            ("at", Json.Int e.fe_at);
+          ])
+      events
+  in
+  let frames_json =
+    List.rev_map (fun label -> Json.Obj [ ("name", Json.String label) ]) !frames
+  in
+  Json.Obj
+    [
+      ("$schema", Json.String "https://www.speedscope.app/file-format-schema.json");
+      ("shared", Json.Obj [ ("frames", Json.List frames_json) ]);
+      ( "profiles",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("type", Json.String "evented");
+                ("name", Json.String name);
+                ("unit", Json.String "nanoseconds");
+                ("startValue", Json.Int 0);
+                ("endValue", Json.Int end_at);
+                ("events", Json.List events_json);
+              ];
+          ] );
+      ("name", Json.String name);
+      ("activeProfileIndex", Json.Int 0);
+      ("exporter", Json.String "argus");
+    ]
+
+let fail path message = raise (Decode.Decode_error { Decode.path; message })
+
+let parse_speedscope doc =
+  let member path name j =
+    match Json.member name j with
+    | Some v -> v
+    | None -> fail path ("missing field " ^ name)
+  in
+  let frames =
+    match member "$.shared" "frames" (member "$" "shared" doc) with
+    | Json.List fs ->
+        Array.of_list
+          (List.map
+             (fun f ->
+               match Json.member "name" f with
+               | Some (Json.String s) -> s
+               | _ -> fail "$.shared.frames" "frame without a name")
+             fs)
+    | _ -> fail "$.shared.frames" "not a list"
+  in
+  let profile =
+    match member "$" "profiles" doc with
+    | Json.List (p :: _) -> p
+    | _ -> fail "$.profiles" "empty or not a list"
+  in
+  let name =
+    match Json.member "name" profile with
+    | Some (Json.String s) -> s
+    | _ -> "unnamed"
+  in
+  let end_at =
+    match Json.member "endValue" profile with
+    | Some (Json.Int i) -> i
+    | _ -> fail "$.profiles[0]" "missing endValue"
+  in
+  let events =
+    match member "$.profiles[0]" "events" profile with
+    | Json.List es ->
+        List.map
+          (fun e ->
+            let path = "$.profiles[0].events" in
+            let typ =
+              match Json.member "type" e with
+              | Some (Json.String s) -> s
+              | _ -> fail path "event without a type"
+            in
+            let frame =
+              match Json.member "frame" e with
+              | Some (Json.Int i) when i >= 0 && i < Array.length frames -> frames.(i)
+              | _ -> fail path "event frame out of range"
+            in
+            let at =
+              match Json.member "at" e with
+              | Some (Json.Int i) -> i
+              | _ -> fail path "event without an offset"
+            in
+            { fe_frame = frame; fe_open = typ = "O"; fe_at = at })
+          es
+    | _ -> fail "$.profiles[0].events" "not a list"
+  in
+  (name, end_at, events)

@@ -1,0 +1,56 @@
+(** Flamegraph encoders: Brendan Gregg's collapsed/folded stack format
+    and the speedscope JSON file format (https://www.speedscope.app).
+
+    Both are generic over (frame label, value) data so they serve any
+    producer; {!Profile} feeds them the solver's cost-annotated goal
+    tree.  Each encoder has a matching parser used by the round-trip
+    tests — and by anyone post-processing a written profile. *)
+
+(** {1 Folded stacks}
+
+    One line per stack: [frame;frame;frame value].  Values are integers
+    (we use nanoseconds of self time).  Frame labels are sanitized:
+    [';'] and newlines (the format's separators) become [','] / [' ']. *)
+
+val sanitize_frame : string -> string
+
+(** Encode rows as folded lines (terminated by a final newline when
+    non-empty).  Stacks are root-first.  Rows with value [<= 0] are
+    dropped — folded values are sample weights, zero rows carry no
+    information. *)
+val folded : (string list * int) list -> string
+
+(** Total value across all folded rows. *)
+val folded_total : (string list * int) list -> int
+
+(** Parse folded lines back into rows (blank lines skipped).
+    @raise Failure on a line with no value field *)
+val parse_folded : string -> (string list * int) list
+
+(** {1 Speedscope}
+
+    The evented profile flavour: a shared frame table plus open/close
+    events at nanosecond offsets.  Events must be properly nested and
+    non-decreasing in [at] — the encoder checks and raises
+    [Invalid_argument] otherwise, so a malformed profile never reaches
+    the viewer. *)
+
+type frame_event = {
+  fe_frame : string;  (** frame label *)
+  fe_open : bool;  (** open ([O]) or close ([C]) *)
+  fe_at : int;  (** nanoseconds from profile start *)
+}
+
+(** [speedscope ~name events] builds a complete speedscope file document
+    ([$schema], shared frame table, one evented profile in nanoseconds).
+    [end_at] defaults to the last event's offset. *)
+val speedscope : ?name:string -> ?end_at:int -> frame_event list -> Json.t
+
+(** Recover (profile name, end value, events) from a speedscope document
+    produced by {!speedscope}.
+    @raise Decode.Decode_error on documents missing the expected shape *)
+val parse_speedscope : Json.t -> string * int * frame_event list
+
+(** Stack-discipline check: every close matches the innermost open frame
+    and offsets never decrease. *)
+val well_nested : frame_event list -> bool

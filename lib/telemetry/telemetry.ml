@@ -187,9 +187,18 @@ type event = {
 }
 
 (** Bounded trace buffer: 64k events (≈ 32k spans) per domain between
-    flushes.  Overflow increments the dropped count so exporters can
-    report the truncation instead of silently losing the tail. *)
-let max_events = 1 lsl 16
+    flushes by default.  Overflow increments the dropped count so
+    exporters can report the truncation instead of silently losing the
+    tail.  The cap is configurable ([--trace-buffer N] in the CLI) for
+    long runs that would otherwise truncate. *)
+let default_max_events = 1 lsl 16
+
+let max_events_ref = Atomic.make default_max_events
+let max_events () = Atomic.get max_events_ref
+
+(* Floor of 256 keeps the growth doubling in [push_event] sound and the
+   buffer big enough to hold at least a few spans. *)
+let set_max_events n = Atomic.set max_events_ref (max 256 n)
 
 let ev_dummy = { ev_name = ""; ev_phase = Span_begin; ev_ts = 0; ev_depth = 0 }
 
@@ -216,6 +225,7 @@ let merged_dropped = ref 0
 let merge_mutex = Mutex.create ()
 
 let push_event st e =
+  let max_events = max_events () in
   if st.len >= max_events then st.dropped <- st.dropped + 1
   else begin
     if st.len >= Array.length st.buf then begin
@@ -404,6 +414,11 @@ let report_to_string ?(title = "telemetry report") sn =
     (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%-34s %10d\n" name v))
     sn.sn_counters;
   Buffer.add_string b
-    (Printf.sprintf "%d trace events buffered, %d dropped\n" (List.length sn.sn_events)
-       sn.sn_dropped);
+    (Printf.sprintf "%d trace events buffered, %d dropped (buffer cap %d per domain)\n"
+       (List.length sn.sn_events) sn.sn_dropped (max_events ()));
+  if sn.sn_dropped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "WARNING: %d trace events dropped at the buffer cap; re-run with a larger --trace-buffer\n"
+         sn.sn_dropped);
   Buffer.contents b

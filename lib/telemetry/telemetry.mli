@@ -89,9 +89,18 @@ val with_span : span -> (unit -> 'a) -> 'a
     single-domain run this is simply the emission order. *)
 val events : unit -> event list
 
-(** Events discarded after a domain's buffer filled (bounded at 64k
-    events per domain between flushes). *)
+(** Events discarded after a domain's buffer filled (bounded at
+    {!max_events} per domain between flushes, 64k by default). *)
 val dropped_events : unit -> int
+
+(** The per-domain event-buffer cap currently in force. *)
+val max_events : unit -> int
+
+(** Resize the per-domain event-buffer cap (clamped to at least 256).
+    Applies to events recorded after the call; already-buffered events
+    are never discarded by shrinking.  Exposed as [--trace-buffer N] in
+    the CLI. *)
+val set_max_events : int -> unit
 
 (** Publish the calling domain's buffered events into the merged trace
     and clear its local buffer.  Worker domains must call this before

@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-json bench-journal bench-parallel bench-fuzz bench-diff fuzz perf profile ci clean
+.PHONY: build test bench bench-json bench-journal bench-parallel bench-fuzz bench-scale bench-diff fuzz perf profile ci clean
 
 build:
 	dune build @all
@@ -31,6 +31,12 @@ bench-parallel:
 # BENCH_pipeline.json sections.
 bench-fuzz:
 	dune exec bench/main.exe -- --fuzz-only
+
+# Re-measure only the mega-library scale section (per-goal solve cost
+# at 100/1000/10000 impls, fast-reject index on vs off), preserving
+# the other BENCH_pipeline.json sections.
+bench-scale:
+	dune exec bench/main.exe -- --scale-only
 
 # Perf-regression gate: re-measure the machine-readable section and
 # compare it against the committed baseline (see docs/PERFORMANCE.md
@@ -76,6 +82,7 @@ ci:
 	cp BENCH_pipeline.json bench-baseline.json
 	dune exec bench/main.exe -- --json-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --parallel-only --runs 1 --warmup 1
+	dune exec bench/main.exe -- --scale-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --diff bench-baseline.json BENCH_pipeline.json --warn-above 1.5 --fail-above 25
 
 clean:

@@ -583,11 +583,75 @@ let bench_fuzz_entries () =
   Pool.shutdown pool;
   rows
 
-let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~diesel_speedup =
+(** The [scale] suite: per-goal solve cost over generated mega
+    libraries ({!Fuzz.Gen.generate_mega}) at growing impl counts, with
+    the fast-reject index on vs off ([--no-index]'s linear scan).  The
+    cache is off so every goal re-runs candidate assembly; the index is
+    cleared per mode so the "on" warm-up pays the lazy build.  The
+    headline is the ns/goal curve staying flat with the index on while
+    the scan side grows linearly; unify attempts per goal are identical
+    in both modes (head-compatibility is the assembly semantics either
+    way) and flat — the attempts the scan wastes are simplify-and-skip,
+    never unifications. *)
+let bench_scale_entries () =
+  let goals = 32 and seed = 42 in
+  let fg = float_of_int goals in
+  Printf.printf "  %-8s %12s %12s %9s %14s %9s\n" "impls" "idx on" "idx off" "speedup"
+    "attempts/goal" "rejects";
+  Solver.Eval_cache.set_enabled false;
+  let rows =
+    List.map
+      (fun impls ->
+        let src = Fuzz.Gen.render (Fuzz.Gen.generate_mega ~goals ~seed ~impls) in
+        let program = Resolve.program_of_string ~file:"scale.trait" src in
+        let measure use_index =
+          Solver.Fast_reject.set_enabled use_index;
+          Solver.Fast_reject.clear ();
+          let ns = time_median (fun () -> Solver.Obligations.solve_program program) in
+          Telemetry.reset ();
+          Telemetry.enable ();
+          ignore (Solver.Obligations.solve_program program);
+          Telemetry.disable ();
+          ( ns /. fg,
+            float_of_int (Telemetry.counter_value "unify.attempts") /. fg,
+            Telemetry.counter_value "index.hits",
+            Telemetry.counter_value "index.rejects",
+            Telemetry.counter_value "index.wildcard" )
+        in
+        let ns_on, att_on, hits, rejects, wildcard = measure true in
+        let ns_off, att_off, _, _, _ = measure false in
+        Solver.Fast_reject.set_enabled true;
+        let speedup = ns_off /. ns_on in
+        let reject_rate =
+          if hits + rejects = 0 then 0.0
+          else float_of_int rejects /. float_of_int (hits + rejects)
+        in
+        Printf.printf "  %-8d %9.2f us %9.2f us %8.2fx %14.1f %8.0f%%\n" impls
+          (ns_on /. 1e3) (ns_off /. 1e3) speedup att_on (reject_rate *. 100.0);
+        Argus_json.Json.Obj
+          [
+            ("impls", Argus_json.Json.Int impls);
+            ("goals", Argus_json.Json.Int goals);
+            ("ns_per_goal_on", Argus_json.Json.Float ns_on);
+            ("ns_per_goal_off", Argus_json.Json.Float ns_off);
+            ("speedup", Argus_json.Json.Float speedup);
+            ("unify_attempts_per_goal_on", Argus_json.Json.Float att_on);
+            ("unify_attempts_per_goal_off", Argus_json.Json.Float att_off);
+            ("index_hits", Argus_json.Json.Int hits);
+            ("index_rejects", Argus_json.Json.Int rejects);
+            ("index_wildcard", Argus_json.Json.Int wildcard);
+            ("reject_rate", Argus_json.Json.Float reject_rate);
+          ])
+      [ 100; 1000; 10000 ]
+  in
+  Solver.Eval_cache.set_enabled true;
+  rows
+
+let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~diesel_speedup =
   let doc =
     Argus_json.Json.Obj
       [
-        ("schema", Argus_json.Json.String "argus.bench.pipeline/v5");
+        ("schema", Argus_json.Json.String "argus.bench.pipeline/v6");
         ("runs", Argus_json.Json.Int !bench_runs);
         ("warmup", Argus_json.Json.Int !bench_warmup);
         ("ocaml_version", Argus_json.Json.String Sys.ocaml_version);
@@ -598,6 +662,7 @@ let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~diesel_speedup 
         ("cache", Argus_json.Json.List cache);
         ("parallel", Argus_json.Json.List parallel);
         ("fuzz", Argus_json.Json.List fuzz);
+        ("scale", Argus_json.Json.List scale);
       ]
   in
   let oc = open_out "BENCH_pipeline.json" in
@@ -608,9 +673,9 @@ let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~diesel_speedup 
       output_char oc '\n');
   Printf.printf
     "wrote BENCH_pipeline.json (%d entries, %d journal rows, %d cache rows, %d parallel \
-     rows, %d fuzz rows)\n"
+     rows, %d fuzz rows, %d scale rows)\n"
     (List.length entries) (List.length journal) (List.length cache)
-    (List.length parallel) (List.length fuzz)
+    (List.length parallel) (List.length fuzz) (List.length scale)
 
 (** A section of the existing BENCH_pipeline.json, so partial re-runs
     ([--journal-only], [--cache-only]) keep the other sections intact. *)
@@ -690,7 +755,9 @@ let bench_pipeline_json () =
   let parallel = bench_parallel_entries () in
   print_endline "differential fuzzing (generation + oracle bank, seed 42):";
   let fuzz = bench_fuzz_entries () in
-  write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~diesel_speedup
+  print_endline "scale: mega-library per-goal cost, index on/off (seed 42):";
+  let scale = bench_scale_entries () in
+  write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~diesel_speedup
 
 (** Re-measure only the journal section, keeping the other sections of
     BENCH_pipeline.json (if any) intact. *)
@@ -701,6 +768,7 @@ let bench_journal_json () =
     ~cache:(existing_section "cache")
     ~parallel:(existing_section "parallel")
     ~fuzz:(existing_section "fuzz")
+    ~scale:(existing_section "scale")
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the cache section, keeping the other sections of
@@ -711,7 +779,8 @@ let bench_cache_json () =
   write_pipeline_doc ~entries:(existing_section "entries")
     ~journal:(existing_section "journal") ~cache
     ~parallel:(existing_section "parallel")
-    ~fuzz:(existing_section "fuzz") ~diesel_speedup
+    ~fuzz:(existing_section "fuzz")
+    ~scale:(existing_section "scale") ~diesel_speedup
 
 (** Re-measure only the parallel section, keeping the other sections of
     BENCH_pipeline.json (if any) intact. *)
@@ -723,6 +792,7 @@ let bench_parallel_json () =
     ~cache:(existing_section "cache")
     ~parallel
     ~fuzz:(existing_section "fuzz")
+    ~scale:(existing_section "scale")
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the fuzzing section, keeping the other sections of
@@ -735,6 +805,20 @@ let bench_fuzz_json () =
     ~cache:(existing_section "cache")
     ~parallel:(existing_section "parallel")
     ~fuzz
+    ~scale:(existing_section "scale")
+    ~diesel_speedup:(existing_diesel_speedup ())
+
+(** Re-measure only the scale section, keeping the other sections of
+    BENCH_pipeline.json (if any) intact. *)
+let bench_scale_json () =
+  section "Mega-library scale benchmark (BENCH_pipeline.json, scale section)";
+  let scale = bench_scale_entries () in
+  write_pipeline_doc ~entries:(existing_section "entries")
+    ~journal:(existing_section "journal")
+    ~cache:(existing_section "cache")
+    ~parallel:(existing_section "parallel")
+    ~fuzz:(existing_section "fuzz")
+    ~scale
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (* ------------------------------------------------------------------ *)
@@ -820,10 +904,12 @@ let () =
   let cache_only = Array.exists (( = ) "--cache-only") Sys.argv in
   let parallel_only = Array.exists (( = ) "--parallel-only") Sys.argv in
   let fuzz_only = Array.exists (( = ) "--fuzz-only") Sys.argv in
+  let scale_only = Array.exists (( = ) "--scale-only") Sys.argv in
   if journal_only then bench_journal_json ()
   else if cache_only then bench_cache_json ()
   else if parallel_only then bench_parallel_json ()
   else if fuzz_only then bench_fuzz_json ()
+  else if scale_only then bench_scale_json ()
   else if json_only then bench_pipeline_json ()
   else begin
     print_endline "Argus-ML benchmark harness — regenerating every paper table/figure";

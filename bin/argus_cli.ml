@@ -90,6 +90,17 @@ let no_cache_arg =
            memoization). Every goal is re-evaluated from scratch; useful for \
            timing comparisons and for isolating cache-related behavior.")
 
+let no_index_arg =
+  Arg.(
+    value & flag
+    & info [ "no-index" ]
+        ~doc:
+          "Disable the fast-reject candidate index (per-trait buckets keyed \
+           by simplified self-type head). Candidate assembly falls back to a \
+           linear scan over every impl of the trait, computing the same \
+           head-compatibility filter — output is byte-identical, only the \
+           per-goal lookup cost changes. Useful for timing comparisons.")
+
 let trace_buffer_arg =
   Arg.(
     value
@@ -124,8 +135,9 @@ let write_event oc e =
    [check] handles --events-out itself (it buffers per-file journal
    streams and concatenates them deterministically); the single-file
    subcommands stream straight to the file. *)
-let observability_setup profile trace_out no_cache trace_buffer =
+let observability_setup profile trace_out no_cache no_index trace_buffer =
   if no_cache then Solver.Eval_cache.set_enabled false;
+  if no_index then Solver.Fast_reject.set_enabled false;
   Option.iter Telemetry.set_max_events trace_buffer;
   if profile || trace_out <> None then begin
     Telemetry.enable ();
@@ -147,8 +159,8 @@ let observability_setup profile trace_out no_cache trace_buffer =
         if profile then prerr_string (Telemetry.report_to_string sn))
   end
 
-let telemetry_setup profile trace_out events_out no_cache trace_buffer =
-  observability_setup profile trace_out no_cache trace_buffer;
+let telemetry_setup profile trace_out events_out no_cache no_index trace_buffer =
+  observability_setup profile trace_out no_cache no_index trace_buffer;
   match events_out with
   | None -> ()
   | Some path ->
@@ -158,7 +170,7 @@ let telemetry_setup profile trace_out events_out no_cache trace_buffer =
 let telemetry_term =
   Term.(
     const telemetry_setup $ profile_arg $ trace_out_arg $ events_out_arg $ no_cache_arg
-    $ trace_buffer_arg)
+    $ no_index_arg $ trace_buffer_arg)
 
 (* ------------------------------------------------------------------ *)
 (* --jobs *)
@@ -412,7 +424,7 @@ let check_cmd =
   in
   let observability_term =
     Term.(
-      const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg
+      const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg $ no_index_arg
       $ trace_buffer_arg)
   in
   let exits =
@@ -1124,7 +1136,7 @@ let profile_cmd =
   in
   let observability_term =
     Term.(
-      const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg
+      const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg $ no_index_arg
       $ trace_buffer_arg)
   in
   let exits =
@@ -1383,7 +1395,7 @@ let fuzz_cmd =
       & info [ "oracle" ] ~docv:"NAME"
           ~doc:
             "Oracle(s) to run (repeatable; default: all). Known: wellformed, \
-             cache, jobs, journal, roundtrip, intern, determinism.")
+             cache, jobs, journal, roundtrip, intern, determinism, index.")
   in
   let shrink_arg =
     Arg.(
@@ -1410,7 +1422,7 @@ let fuzz_cmd =
   in
   let observability_term =
     Term.(
-      const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg
+      const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg $ no_index_arg
       $ trace_buffer_arg)
   in
   let exits =
@@ -1431,7 +1443,7 @@ let fuzz_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let version = "1.6.0"
+let version = "1.7.0"
 
 (* With no subcommand: honour -V (short for the auto-generated
    --version), otherwise show the help page. *)

@@ -381,6 +381,151 @@ let gadget_ambiguity _ctx =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Mega-library generation (the `scale` bench suite) *)
+
+(* A big-crate impl population with the shape candidate indexing is
+   built for, in controlled proportions:
+
+   - ~75% {e head-distinct} impls ([impl MgTk for MgSi]) — every impl
+     its own struct, so buckets are singletons and a linear scan's cost
+     is pure waste;
+   - ~20% {e overlapping same-head} impls in constant-width families:
+     8 impls share one family head ([impl MgTk for MgFf<MgSa>], the
+     [SystemParam] shape), and the {e number of families} grows with
+     [impls] while each bucket stays 8 wide — so in-bucket probing
+     stays honest but per-goal work does not grow with crate size;
+   - a constant-size {e generic-self chain} ([impl<T> MgBlk for
+     MgW<T> where T: MgBlk] over a base case) that deep goals recurse
+     through; its head is rigid ([MgW]), so it lives in a bucket, not
+     the wildcard list;
+   - exactly three {e true blanket impls} (parameter-headed, wildcard)
+     whose count does not grow with [impls]: two bounded by a trait
+     nothing implements (probed and quickly refuted by every [MgT0] /
+     [MgT1] goal) and one unconditional on its own trait.
+
+   Goals cycle over a provable distinct-family hit, a decisive miss
+   (every same-trait candidate fast-rejects), a provable
+   overlapping-family hit, and a depth-8 chain goal, so per-goal cost
+   averages over both the index's best and worst realistic cases. *)
+let generate_mega ~goals ~seed ~impls : spec =
+  let impls = max 16 impls in
+  let rng = Rng.create ~seed:(seed lxor 0x5DEECE66) in
+  let nt = 4 in
+  let n_blanket = 3 and n_chain = 2 and family_width = 8 in
+  let n_overlap = impls / 5 in
+  let n_distinct = impls - n_overlap - n_blanket - n_chain in
+  let n_structs = max 8 n_distinct in
+  let n_families = (n_overlap + family_width - 1) / family_width in
+  let mgs i = Printf.sprintf "MgS%d" i in
+  let mgt k = Printf.sprintf "MgT%d" k in
+  let mgf f = Printf.sprintf "MgF%d" f in
+  let tb name = { b_trait = name; b_args = []; b_bindings = [] } in
+  let structs =
+    Struct { s_name = "MgW"; s_arity = 1 }
+    :: List.init n_structs (fun i -> Struct { s_name = mgs i; s_arity = 0 })
+    @ List.init n_families (fun f -> Struct { s_name = mgf f; s_arity = 1 })
+  in
+  let traits =
+    List.init nt (fun k ->
+        Trait { t_name = mgt k; t_arity = 0; t_supers = []; t_assocs = [] })
+    @ [
+        Trait { t_name = "MgMarker"; t_arity = 0; t_supers = []; t_assocs = [] };
+        Trait { t_name = "MgAny"; t_arity = 0; t_supers = []; t_assocs = [] };
+        Trait { t_name = "MgBlk"; t_arity = 0; t_supers = []; t_assocs = [] };
+      ]
+  in
+  (* seeded jitter: which trait each impl/family implements varies per
+     seed; the structural proportions do not *)
+  let distinct_trait = Array.init n_distinct (fun _ -> Rng.int rng nt) in
+  let family_trait = Array.init (max 1 n_families) (fun _ -> Rng.int rng nt) in
+  let distinct =
+    List.init n_distinct (fun i ->
+        Impl
+          {
+            i_params = [];
+            i_trait = tb (mgt distinct_trait.(i));
+            i_self = Name (mgs i, []);
+            i_where = [];
+            i_bindings = [];
+          })
+  in
+  (* family f, member j: argument indices are consecutive mod
+     [n_structs] ([family_width <= n_structs]), so members of one
+     family never collide *)
+  let overlap_self i =
+    let f = i / family_width and j = i mod family_width in
+    Name (mgf f, [ Name (mgs (((f * family_width) + j) mod n_structs), []) ])
+  in
+  let overlap =
+    List.init n_overlap (fun i ->
+        Impl
+          {
+            i_params = [];
+            i_trait = tb (mgt family_trait.(i / family_width));
+            i_self = overlap_self i;
+            i_where = [];
+            i_bindings = [];
+          })
+  in
+  let chain =
+    [
+      Impl
+        {
+          i_params = [ "T" ];
+          i_trait = tb "MgBlk";
+          i_self = Name ("MgW", [ Name ("T", []) ]);
+          i_where = [ P_trait (Name ("T", []), tb "MgBlk") ];
+          i_bindings = [];
+        };
+      Impl
+        { i_params = []; i_trait = tb "MgBlk"; i_self = Name (mgs 0, []); i_where = []; i_bindings = [] };
+    ]
+  in
+  let blankets =
+    [
+      Impl
+        {
+          i_params = [ "T" ];
+          i_trait = tb (mgt 0);
+          i_self = Name ("T", []);
+          i_where = [ P_trait (Name ("T", []), tb "MgMarker") ];
+          i_bindings = [];
+        };
+      Impl
+        {
+          i_params = [ "T" ];
+          i_trait = tb (mgt 1);
+          i_self = Name ("T", []);
+          i_where = [ P_trait (Name ("T", []), tb "MgMarker") ];
+          i_bindings = [];
+        };
+      Impl
+        { i_params = [ "T" ]; i_trait = tb "MgAny"; i_self = Name ("T", []); i_where = []; i_bindings = [] };
+    ]
+  in
+  let rec wrap d t = if d = 0 then t else Name ("MgW", [ wrap (d - 1) t ]) in
+  let goal g =
+    match g mod 4 with
+    | 0 ->
+        (* provable distinct-family hit: the impl that exists *)
+        let i = (g / 4 * 13) mod n_distinct in
+        Goal (P_trait (Name (mgs i, []), tb (mgt distinct_trait.(i))))
+    | 1 ->
+        (* decisive miss: wrong trait, every candidate fast-rejects
+           (mgt 0/1 also probe a blanket, refuted via MgMarker) *)
+        let i = (g / 4 * 11) mod n_distinct in
+        Goal (P_trait (Name (mgs i, []), tb (mgt ((distinct_trait.(i) + 1) mod nt))))
+    | 2 ->
+        (* provable overlapping-family hit: probes its whole
+           constant-width family bucket, exactly one member matches *)
+        let i = (g / 4 * 17) mod n_overlap in
+        Goal (P_trait (overlap_self i, tb (mgt family_trait.(i / family_width))))
+    | _ -> Goal (P_trait (wrap 8 (Name (mgs 0, [])), tb "MgBlk"))
+  in
+  structs @ traits @ distinct @ overlap @ chain @ blankets
+  @ List.init (max 4 goals) goal
+
+(* ------------------------------------------------------------------ *)
 
 let generate ~seed ~iter ~size : spec =
   let size = max 1 (min 4 size) in

@@ -60,6 +60,18 @@ val generate : seed:int -> iter:int -> size:int -> spec
 
 val default_size : int
 
+(** Deterministic mega-library generation for the [scale] bench suite:
+    a program with [impls] impl blocks shaped like a big real crate —
+    ~75% head-distinct impls (singleton fast-reject buckets), ~20%
+    overlapping same-head impls in constant-width families of 8 whose
+    family count grows with [impls], a constant-size generic-self
+    chain, and exactly three true blanket (wildcard) impls regardless
+    of [impls].  [goals] cycle over
+    provable hits in both families, decisive misses, and a depth-8
+    chain goal.  [seed] jitters trait assignment within families; the
+    structural proportions are fixed. *)
+val generate_mega : goals:int -> seed:int -> impls:int -> spec
+
 (** {1 Rendering and inspection} *)
 
 (** Render to L_TRAIT surface syntax (parseable by {!Trait_lang.Parser}). *)

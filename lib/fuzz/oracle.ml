@@ -5,9 +5,17 @@
 
 open Trait_lang
 
-type name = Wellformed | Cache | Jobs | Journal | Roundtrip | Intern | Determinism
+type name =
+  | Wellformed
+  | Cache
+  | Jobs
+  | Journal
+  | Roundtrip
+  | Intern
+  | Determinism
+  | Index
 
-let all = [ Wellformed; Cache; Jobs; Journal; Roundtrip; Intern; Determinism ]
+let all = [ Wellformed; Cache; Jobs; Journal; Roundtrip; Intern; Determinism; Index ]
 
 let to_string = function
   | Wellformed -> "wellformed"
@@ -17,6 +25,7 @@ let to_string = function
   | Roundtrip -> "roundtrip"
   | Intern -> "intern"
   | Determinism -> "determinism"
+  | Index -> "index"
 
 let of_string s =
   List.find_opt (fun n -> String.equal (to_string n) s) all
@@ -29,6 +38,7 @@ let describe = function
   | Roundtrip -> "pretty-print, re-parse, re-solve reaches the same result"
   | Intern -> "structural copies intern to physically identical terms"
   | Determinism -> "two cold runs of the same source are byte-identical"
+  | Index -> "fast-reject index on and --no-index runs are byte-identical"
 
 type verdict = Pass | Fail of string
 
@@ -423,6 +433,38 @@ let check_intern source =
       in
       (match mismatch with None -> Pass | Some m -> Fail m)
 
+(* Candidate assembly through the fast-reject bucket index must be
+   observationally identical to the --no-index linear scan: same
+   reports, same journal streams, same byte fingerprints.  The cache is
+   held off so every goal actually reaches candidate assembly both
+   times; the index is cleared first so the on-run exercises a cold
+   lazy build. *)
+let check_index source =
+  with_cache_state @@ fun () ->
+  let was = Solver.Fast_reject.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Solver.Fast_reject.set_enabled was;
+      Solver.Fast_reject.clear ())
+    (fun () ->
+      let e = entry source in
+      Solver.Eval_cache.set_enabled false;
+      Solver.Fast_reject.set_enabled true;
+      Solver.Fast_reject.clear ();
+      let on = Corpus.Harness.solve_unit ~journal:true e in
+      Solver.Fast_reject.set_enabled false;
+      let off = Corpus.Harness.solve_unit ~journal:true e in
+      let ( <|> ) a b = match a with Some _ -> a | None -> b in
+      let mismatch =
+        reports_agree ~what:"index: on vs off" on.b_report off.b_report
+        <|> streams_agree ~what:"index: on vs off journal" on.b_journal off.b_journal
+      in
+      match mismatch with
+      | Some m -> Fail m
+      | None ->
+          if String.equal (fingerprint on) (fingerprint off) then Pass
+          else Fail "index: byte fingerprints differ between index on and --no-index")
+
 let check_determinism source =
   with_cache_state @@ fun () ->
   let e = entry source in
@@ -445,6 +487,7 @@ let check ?pool name ~source =
     | Roundtrip -> check_roundtrip source
     | Intern -> check_intern source
     | Determinism -> check_determinism source
+    | Index -> check_index source
   in
   match body () with
   | v -> v

@@ -27,6 +27,9 @@ type name =
           physically identical term; interning is idempotent *)
   | Determinism
       (** two cold runs of the same source are byte-identical *)
+  | Index
+      (** fast-reject index on ≡ [--no-index] linear scan: reports,
+          journal streams, and byte fingerprints all agree *)
 
 (** All oracles, in campaign execution order ({!Wellformed} first). *)
 val all : name list

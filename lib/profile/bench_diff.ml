@@ -42,6 +42,9 @@ let sections =
     ("cache", "name", [ "ns_cache_off"; "ns_cache_on" ]);
     ("parallel", "jobs", [ "ns_batch" ]);
     ("fuzz", "stage", [ "ns_per_program" ]);
+    (* absent from pre-v6 baselines: missing sections only surface as
+       "added in NEW", never as a failure *)
+    ("scale", "impls", [ "ns_per_goal_on"; "ns_per_goal_off" ]);
   ]
 
 let number_opt = function

@@ -1,0 +1,252 @@
+(** Simplified-self-type fast-reject index.  See the interface for the
+    design; the invariant that everything below serves is
+
+    {[ lookup p trait self  ==  scan p trait self ]}
+
+    for every program, trait and self type — same impls, same
+    (declaration) order — so candidate assembly is observationally
+    independent of [use_index]. *)
+
+open Trait_lang
+
+let c_hits = Telemetry.counter "index.hits"
+let c_rejects = Telemetry.counter "index.rejects"
+let c_wildcard = Telemetry.counter "index.wildcard"
+let c_builds = Telemetry.counter "index.builds"
+
+(* ------------------------------------------------------------------ *)
+(* Simplified types *)
+
+type simplified =
+  | S_unit
+  | S_bool
+  | S_int
+  | S_uint
+  | S_float
+  | S_str
+  | S_adt of Path.t
+  | S_tuple of int
+  | S_ref
+  | S_ref_mut
+  | S_fn_ptr of int
+  | S_fn_item of Path.t
+  | S_dyn of Path.t
+  | S_param of string
+
+let equal_simplified a b =
+  match (a, b) with
+  | S_unit, S_unit | S_bool, S_bool | S_int, S_int | S_uint, S_uint
+  | S_float, S_float | S_str, S_str | S_ref, S_ref | S_ref_mut, S_ref_mut ->
+      true
+  | S_adt p, S_adt q | S_fn_item p, S_fn_item q | S_dyn p, S_dyn q -> Path.equal p q
+  | S_tuple n, S_tuple m | S_fn_ptr n, S_fn_ptr m -> n = m
+  | S_param x, S_param y -> String.equal x y
+  | _ -> false
+
+let hash_simplified = function
+  | S_unit -> 1
+  | S_bool -> 2
+  | S_int -> 3
+  | S_uint -> 4
+  | S_float -> 5
+  | S_str -> 6
+  | S_ref -> 7
+  | S_ref_mut -> 8
+  | S_adt p -> 11 + (31 * Path.hash p)
+  | S_tuple n -> 12 + (31 * n)
+  | S_fn_ptr n -> 13 + (31 * n)
+  | S_fn_item p -> 14 + (31 * Path.hash p)
+  | S_dyn p -> 15 + (31 * Path.hash p)
+  | S_param s -> 16 + (31 * Hashtbl.hash s)
+
+let simplified_to_string = function
+  | S_unit -> "unit"
+  | S_bool -> "bool"
+  | S_int -> "int"
+  | S_uint -> "uint"
+  | S_float -> "float"
+  | S_str -> "str"
+  | S_ref -> "&"
+  | S_ref_mut -> "&mut"
+  | S_adt p -> "adt " ^ Path.to_string p
+  | S_tuple n -> Printf.sprintf "tuple/%d" n
+  | S_fn_ptr n -> Printf.sprintf "fn-ptr/%d" n
+  | S_fn_item p -> "fn-item " ^ Path.to_string p
+  | S_dyn p -> "dyn " ^ Path.to_string p
+  | S_param x -> "param " ^ x
+
+(* The goal side: the caller hands us the shallow-resolved self type.
+   An unresolved inference variable or an unnormalized projection head
+   can become anything, so both are wildcards.  A parameter is rigid —
+   it unifies only with itself or with an instantiated blanket impl —
+   and since no impl bucket is ever keyed [S_param] (see below), a
+   parameter-headed goal reaches exactly the wildcard impls. *)
+let simplify_goal : Ty.t -> simplified option = function
+  | Ty.Infer _ | Ty.Proj _ -> None
+  | Ty.Unit -> Some S_unit
+  | Ty.Bool -> Some S_bool
+  | Ty.Int -> Some S_int
+  | Ty.Uint -> Some S_uint
+  | Ty.Float -> Some S_float
+  | Ty.Str -> Some S_str
+  | Ty.Param x -> Some (S_param x)
+  | Ty.Ref _ -> Some S_ref
+  | Ty.RefMut _ -> Some S_ref_mut
+  | Ty.Ctor (p, _) -> Some (S_adt p)
+  | Ty.Tuple ts -> Some (S_tuple (List.length ts))
+  | Ty.FnPtr (args, _) -> Some (S_fn_ptr (List.length args))
+  | Ty.FnItem (p, _, _) -> Some (S_fn_item p)
+  | Ty.Dynamic tr -> Some (S_dyn tr.Ty.trait)
+
+(* The impl side: candidate evaluation substitutes the impl's generics
+   with fresh inference variables before unifying, so a parameter head
+   (blanket impl) is a wildcard; a projection head may normalize to
+   anything.  Everything else keeps its rigid head under both
+   substitution and deep normalization. *)
+let simplify_impl (impl : Decl.impl) : simplified option =
+  match impl.Decl.impl_self with
+  | Ty.Param _ | Ty.Proj _ | Ty.Infer _ -> None
+  | ty -> simplify_goal ty
+
+let compatible goal impl =
+  match (goal, impl) with
+  | None, _ | _, None -> true
+  | Some g, Some i -> equal_simplified g i
+
+(* ------------------------------------------------------------------ *)
+(* The index *)
+
+module S_tbl = Hashtbl.Make (struct
+  type t = simplified
+
+  let equal = equal_simplified
+  let hash = hash_simplified
+end)
+
+(** One trait's impls, pre-bucketed by simplified self head.  Each
+    bucket already has the wildcard impls merged back in declaration
+    order, so a lookup is a single table probe. *)
+type trait_index = {
+  ti_buckets : Decl.impl list S_tbl.t;
+  ti_wildcard : Decl.impl list;  (** for goal heads with no bucket *)
+  ti_all : Decl.impl list;  (** for wildcard goal heads *)
+  ti_count : int;  (** [List.length ti_all] *)
+}
+
+let build_trait_index (impls : Decl.impl list) : trait_index =
+  Telemetry.incr c_builds;
+  let keyed = List.map (fun impl -> (simplify_impl impl, impl)) impls in
+  let wildcard = List.filter_map (function None, i -> Some i | _ -> None) keyed in
+  let buckets = S_tbl.create 64 in
+  (* Collect the distinct heads, then rebuild each bucket as one
+     ordered pass over the declaration list: bucket ∪ wildcard must be
+     interleaved exactly as a linear scan would visit them. *)
+  List.iter
+    (fun (head, _) ->
+      match head with
+      | Some s when not (S_tbl.mem buckets s) ->
+          let merged =
+            List.filter_map
+              (fun (h, impl) ->
+                match h with
+                | None -> Some impl
+                | Some s' -> if equal_simplified s s' then Some impl else None)
+              keyed
+          in
+          S_tbl.replace buckets s merged
+      | _ -> ())
+    keyed;
+  { ti_buckets = buckets; ti_wildcard = wildcard; ti_all = impls; ti_count = List.length impls }
+
+(* A program's per-trait indexes, built lazily: traits never asked
+   about are never indexed.  The map is swapped in with a CAS so
+   concurrent domains can extend it lock-free; a lost race rebuilds a
+   pure value and retries, so the result is identical either way. *)
+type prog_index = { px_traits : trait_index Path.Map.t Atomic.t }
+
+(* Stamp-keyed registry, shared across the domain pool like the eval
+   cache's shards.  Programs are immutable and freshly stamped per
+   load, so a bounded table with wholesale eviction is enough; index
+   contents never affect solver output, only lookup cost. *)
+let registry : (int, prog_index) Hashtbl.t = Hashtbl.create 32
+let registry_mu = Mutex.create ()
+let max_programs = 64
+let enabled_flag = Atomic.make true
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let clear () =
+  Mutex.protect registry_mu (fun () -> Hashtbl.reset registry)
+
+let invalidate ~stamp =
+  Mutex.protect registry_mu (fun () -> Hashtbl.remove registry stamp)
+
+let prog_index_of (p : Program.t) : prog_index =
+  let stamp = Program.stamp p in
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt registry stamp with
+      | Some px -> px
+      | None ->
+          if Hashtbl.length registry >= max_programs then Hashtbl.reset registry;
+          let px = { px_traits = Atomic.make Path.Map.empty } in
+          Hashtbl.add registry stamp px;
+          px)
+
+let trait_index_of (p : Program.t) (trait_ : Path.t) : trait_index =
+  let px = prog_index_of p in
+  let rec get () =
+    let map = Atomic.get px.px_traits in
+    match Path.Map.find_opt trait_ map with
+    | Some ti -> ti
+    | None ->
+        let ti = build_trait_index (Program.impls_of_trait p trait_) in
+        if Atomic.compare_and_set px.px_traits map (Path.Map.add trait_ ti map) then ti
+        else get ()
+  in
+  get ()
+
+(* ------------------------------------------------------------------ *)
+(* Lookup *)
+
+let tally ~total ~kept ~wild =
+  Telemetry.add c_hits kept;
+  Telemetry.add c_rejects (total - kept);
+  if wild then Telemetry.incr c_wildcard
+
+let lookup_in (ti : trait_index) (self : Ty.t) : Decl.impl list =
+  match simplify_goal self with
+  | None ->
+      tally ~total:ti.ti_count ~kept:ti.ti_count ~wild:true;
+      ti.ti_all
+  | Some s ->
+      let found =
+        match S_tbl.find_opt ti.ti_buckets s with
+        | Some merged -> merged
+        | None -> ti.ti_wildcard
+      in
+      tally ~total:ti.ti_count ~kept:(List.length found) ~wild:false;
+      found
+
+let lookup (p : Program.t) (trait_ : Path.t) (self : Ty.t) : Decl.impl list =
+  lookup_in (trait_index_of p trait_) self
+
+let scan (p : Program.t) (trait_ : Path.t) (self : Ty.t) : Decl.impl list =
+  let impls = Program.impls_of_trait p trait_ in
+  let total = List.length impls in
+  match simplify_goal self with
+  | None ->
+      tally ~total ~kept:total ~wild:true;
+      impls
+  | Some s ->
+      let found = List.filter (fun impl -> compatible (Some s) (simplify_impl impl)) impls in
+      tally ~total ~kept:(List.length found) ~wild:false;
+      found
+
+let candidates ~use_index (p : Program.t) (trait_ : Path.t) (self : Ty.t) :
+    Decl.impl list =
+  if use_index then lookup p trait_ self else scan p trait_ self
+
+let bucket_stats (p : Program.t) (trait_ : Path.t) : int * int =
+  let ti = trait_index_of p trait_ in
+  (S_tbl.length ti.ti_buckets, List.length ti.ti_wildcard)

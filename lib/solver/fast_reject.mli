@@ -1,0 +1,100 @@
+(** Simplified-self-type fast-reject index for impl candidate assembly.
+
+    rustc prunes the impl set for a trait goal by "fast reject": the
+    self type is collapsed to a {e simplified type} — its head
+    constructor — and impls whose (simplified) self-type head cannot
+    possibly unify with the goal's are never probed.  This module does
+    the same for L_TRAIT, in two interchangeable forms:
+
+    {ul
+    {- a {b per-goal linear scan} ([--no-index]) computing the
+       head-compatibility relation impl by impl, and}
+    {- a {b per-program, per-trait bucket index} built lazily on first
+       lookup, keyed by the program's {!Program.stamp} (like the
+       evaluation cache) so it is shared across the domain pool and
+       invalidated wholesale when a new program supersedes it.}}
+
+    Both forms return the {e same impl list in declaration order}, so
+    solver output is byte-identical with the index on or off — the
+    index is purely a sublinear data structure over the scan's
+    semantics, and the [index] fuzz oracle checks exactly that.
+
+    Soundness is by construction: a simplified head is [None]
+    ("matches everything") whenever unification could see through it —
+    inference variables, projections awaiting normalization, and impl
+    self types headed by a generic parameter (blanket impls, whose
+    instantiated head is a fresh inference variable).  Rejection only
+    happens between two {e rigid} heads that {!Unify.unify} is
+    guaranteed to fail on. *)
+
+open Trait_lang
+
+(** The head constructor of a type, as far as unification can tell
+    without looking deeper.  Mirrors the rigid cases of {!Unify.unify}:
+    constructors and fn items by path, tuples and fn pointers by arity,
+    [&]/[&mut] and the primitives by tag, trait objects by trait,
+    parameters by name (rigid: they unify only with themselves). *)
+type simplified =
+  | S_unit
+  | S_bool
+  | S_int
+  | S_uint
+  | S_float
+  | S_str
+  | S_adt of Path.t
+  | S_tuple of int
+  | S_ref
+  | S_ref_mut
+  | S_fn_ptr of int
+  | S_fn_item of Path.t
+  | S_dyn of Path.t
+  | S_param of string
+
+val equal_simplified : simplified -> simplified -> bool
+val simplified_to_string : simplified -> string
+
+(** Simplify a goal self type (shallow-resolved by the caller).
+    [None] — an inference variable or unnormalized projection — matches
+    every impl. *)
+val simplify_goal : Ty.t -> simplified option
+
+(** Simplify an impl's declared self type.  [None] — a generic
+    parameter (blanket impl) or projection head — matches every goal. *)
+val simplify_impl : Decl.impl -> simplified option
+
+(** Can a goal with simplified head [goal] possibly unify with an impl
+    of simplified head [impl]?  Wildcards ([None]) match everything. *)
+val compatible : simplified option -> simplified option -> bool
+
+(** The candidate impls of [trait_] whose self-type head is compatible
+    with goal self type [self], in declaration order.  [use_index]
+    selects the prebuilt bucket index; [false] performs the linear
+    scan.  Both gather [index.{hits,rejects,wildcard}] telemetry. *)
+val candidates : use_index:bool -> Program.t -> Path.t -> Ty.t -> Decl.impl list
+
+(** {2 Global switch}
+
+    Mirrors {!Eval_cache.set_enabled}: the CLI's [--no-index] routes
+    every lookup through the linear scan. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** {2 Invalidation} *)
+
+(** Drop every built index. *)
+val clear : unit -> unit
+
+(** Drop the index for one program stamp (watch-mode hook). *)
+val invalidate : stamp:int -> unit
+
+(** {2 Introspection (tests, stats)} *)
+
+(** Forced index-path lookup. *)
+val lookup : Program.t -> Path.t -> Ty.t -> Decl.impl list
+
+(** Forced linear-scan lookup. *)
+val scan : Program.t -> Path.t -> Ty.t -> Decl.impl list
+
+(** (distinct head buckets, wildcard impls) of a trait's built index. *)
+val bucket_stats : Program.t -> Path.t -> int * int

@@ -44,9 +44,11 @@ type config = {
   depth_limit : int;  (** recursion limit; rustc's default is 128 *)
   enable_builtins : bool;  (** built-in [Fn]/[Sized] candidates *)
   enable_cache : bool;  (** consult/populate the {!Eval_cache} *)
+  enable_index : bool;  (** {!Fast_reject} bucket index vs linear scan *)
 }
 
-let default_config = { depth_limit = 48; enable_builtins = true; enable_cache = true }
+let default_config =
+  { depth_limit = 48; enable_builtins = true; enable_cache = true; enable_index = true }
 
 type t = {
   program : Program.t;
@@ -135,6 +137,16 @@ let head_known icx ty =
 let muted f =
   Journal.mute ();
   Fun.protect ~finally:Journal.unmute f
+
+(** The impls worth probing for a goal on [trait_path] with (shallow-
+    resolved) self type [self]: head-incompatible impls are fast-
+    rejected before any unification.  Both the bucket index and the
+    [--no-index] linear scan compute the same list in declaration
+    order, so the trace and journal are identical either way. *)
+let impl_candidates st (trait_path : Path.t) (self : Ty.t) : Decl.impl list =
+  Fast_reject.candidates
+    ~use_index:(st.cfg.enable_index && Fast_reject.enabled ())
+    st.program trait_path self
 
 (* ------------------------------------------------------------------ *)
 (* The mutually recursive solver core. *)
@@ -246,7 +258,7 @@ and solve_trait st ~gid ~depth ~prov pred (tp : Predicate.trait_pred) : Trace.go
           st.env
       in
       let impl_cands =
-        Program.impls_of_trait st.program tp.trait_ref.trait
+        impl_candidates st tp.trait_ref.trait self
         |> List.map (fun impl -> eval_impl_candidate st ~goal:gid ~depth ~commit:false impl tp)
       in
       let builtin_cands =
@@ -513,7 +525,7 @@ and solve_projection st ~gid ~depth ~prov pred (pp : Predicate.proj_pred) : Trac
     (* Impl candidates are evaluated first, matching their position in
        the candidate list (and hence the journal's event order). *)
     let impl_cands =
-      Program.impls_of_trait st.program proj.proj_trait.trait
+      impl_candidates st proj.proj_trait.trait (Unify.shallow st.icx proj.self_ty)
       |> List.map (fun impl ->
              eval_proj_impl_candidate st ~goal:gid ~depth ~commit:false impl proj pp)
     in
@@ -794,8 +806,12 @@ and normalize_proj st ?id ~depth ~prov (proj : Ty.projection) : proj_norm =
   end
 
 and normalize_via_impls st ~gid ~depth ~prov pred (proj : Ty.projection) : proj_norm =
-  let impls = Program.impls_of_trait st.program proj.proj_trait.trait in
-  (* Probe which impls head-match. *)
+  let impls = impl_candidates st proj.proj_trait.trait (Unify.shallow st.icx proj.self_ty) in
+  (* Probe which impls head-match.  The substitution of a successful
+     probe is kept: rollback unbinds the fresh variables it allocated
+     but leaves them allocated, so a uniquely matching impl can be
+     committed by re-unifying under the same substitution instead of
+     instantiating its generics a second time. *)
   let probe impl =
     let snap = Infer_ctx.snapshot st.icx in
     let subst = Infer_ctx.instantiate_generics st.icx impl.Decl.impl_generics in
@@ -808,9 +824,9 @@ and normalize_via_impls st ~gid ~depth ~prov pred (proj : Ty.projection) : proj_
       | Error _ -> false)
     in
     Infer_ctx.rollback_to st.icx snap;
-    ok
+    if ok then Some (impl, subst) else None
   in
-  match List.filter probe impls with
+  match List.filter_map probe impls with
   | [] ->
       {
         norm_ty = None;
@@ -835,12 +851,12 @@ and normalize_via_impls st ~gid ~depth ~prov pred (proj : Ty.projection) : proj_
           leaf ~gid ~depth ~prov ~flags:[ Trace.Stateful; Trace.Ambiguous_selection ] pred
             Res.Maybe;
       }
-  | [ impl ] ->
-      (* Commit the unique impl: unify heads for real, then solve its
-         where-clauses as the node's subtree. *)
+  | [ (impl, subst) ] ->
+      (* Commit the unique impl: unify heads for real under the probe's
+         substitution, then solve its where-clauses as the node's
+         subtree. *)
       let cid = Journal.fresh_id () in
       Jlog.cand_enter ~id:cid ~goal:gid (Trace.Cand_impl impl);
-      let subst = Infer_ctx.instantiate_generics st.icx impl.impl_generics in
       let _ = Unify.unify st.icx proj.self_ty (Subst.ty subst impl.impl_self) in
       let _ =
         Unify.unify_trait_refs st.icx proj.proj_trait (Subst.trait_ref subst impl.impl_trait)

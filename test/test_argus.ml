@@ -70,7 +70,11 @@ let test_dedup_attempts () =
 (* ------------------------------------------------------------------ *)
 (* Proof tree structure *)
 
-let simple_fail = "struct A; struct B; trait T {} impl T for B {} goal A: T;"
+(* The impl's self head (`B<_>`) matches the goal's, so it survives
+   fast-reject and fails inside unification — a head-mismatched impl
+   (e.g. `impl T for B` against `goal A: T`) would no longer be probed
+   at all. *)
+let simple_fail = "struct A; struct B<X>; trait T {} impl T for B<A> {} goal B<B<A>>: T;"
 
 let test_tree_roundtrip_structure () =
   let _, _, tree = failed_tree simple_fail in
@@ -534,8 +538,8 @@ let test_html_page_structure () =
   in
   check_int "details balanced" (count "<details") (count "</details>");
   (* all user text is escaped: a raw `<...>` from a generic type must not
-     appear outside a tag; spot-check the known generic *)
-  check_bool "generics escaped" true (contains html "ResMut&lt;T&gt;")
+     appear outside a tag; spot-check the root goal's generic *)
+  check_bool "generics escaped" true (contains html "IntoSystemConfigs&lt;")
 
 let test_html_view_respects_state () =
   let _, tree = bevy_tree () in

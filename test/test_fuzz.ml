@@ -66,6 +66,10 @@ let qcheck_determinism =
   oracle_property "two cold runs are bit-identical (determinism oracle)" ~count:25
     ~oracle:Fuzz.Oracle.Determinism
 
+let qcheck_index =
+  oracle_property "index on and --no-index runs agree (index oracle)" ~count:25
+    ~oracle:Fuzz.Oracle.Index
+
 (* ------------------------------------------------------------------ *)
 (* Corpus round-trip regression: every suite program (and every extra)
    survives print -> re-parse -> re-solve with an identical proof tree.
@@ -283,6 +287,7 @@ let () =
             qcheck_journal;
             qcheck_intern;
             qcheck_determinism;
+            qcheck_index;
           ] );
       ( "corpus",
         [ Alcotest.test_case "all programs round-trip" `Quick test_corpus_roundtrip ] );

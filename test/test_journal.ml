@@ -309,7 +309,10 @@ let test_cli_outputs_on_load_failure () =
     (String.length err > 0)
 
 let test_cli_events_roundtrip () =
-  write_file "failing.trait" "struct A; struct B; trait T {} impl T for B {} goal A: T;";
+  (* the impl must share the goal's self head to survive fast-reject
+     and leave a rejecting unify event for [explain] to name *)
+  write_file "failing.trait"
+    "struct A; struct B<X>; trait T {} impl T for B<A> {} goal B<B<A>>: T;";
   let code =
     Sys.command
       (Printf.sprintf "%s check --events-out run_events.jsonl failing.trait > run.out 2>&1"

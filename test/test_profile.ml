@@ -259,6 +259,42 @@ let test_diff_tracks_missing_and_added () =
   Alcotest.(check (list string)) "new metric reported" [ "entries/f/ns_per_run" ]
     rep.Profile.Bench_diff.added
 
+(* A v6 document (with a scale section) diffed against a pre-v6
+   baseline (without one): the new metrics are reported as added, never
+   as a regression — CI can land the scale suite without regenerating
+   the committed baseline first. *)
+let test_diff_scale_section_tolerated () =
+  let old_doc = pipeline_doc base_entries in
+  let new_doc =
+    match pipeline_doc base_entries with
+    | Argus_json.Json.Obj fields ->
+        Argus_json.Json.Obj
+          (fields
+          @ [
+              ( "scale",
+                Argus_json.Json.List
+                  [
+                    Argus_json.Json.Obj
+                      [
+                        ("impls", Argus_json.Json.Int 100);
+                        ("ns_per_goal_on", Argus_json.Json.Float 1000.0);
+                        ("ns_per_goal_off", Argus_json.Json.Float 1500.0);
+                      ];
+                  ] );
+            ])
+    | j -> j
+  in
+  let rep = Profile.Bench_diff.diff ~old_doc ~new_doc () in
+  Alcotest.(check bool) "verdict is Pass" true
+    (rep.Profile.Bench_diff.verdict = Profile.Bench_diff.Pass);
+  Alcotest.(check (list string)) "scale metrics surface as added"
+    [ "scale/100/ns_per_goal_on"; "scale/100/ns_per_goal_off" ]
+    rep.Profile.Bench_diff.added;
+  (* and a scale-on-both-sides regression is caught like any other *)
+  let rep = Profile.Bench_diff.diff ~old_doc:new_doc ~new_doc () in
+  Alcotest.(check int) "same doc: nothing added" 0
+    (List.length rep.Profile.Bench_diff.added)
+
 let test_diff_rejects_foreign_schema () =
   let doc = pipeline_doc base_entries in
   let bad = Argus_json.Json.Obj [ ("schema", Argus_json.Json.String "other/v1") ] in
@@ -448,6 +484,8 @@ let () =
             test_diff_detects_regression;
           Alcotest.test_case "missing and added metrics" `Quick
             test_diff_tracks_missing_and_added;
+          Alcotest.test_case "scale section tolerated" `Quick
+            test_diff_scale_section_tolerated;
           Alcotest.test_case "foreign schema rejected" `Quick
             test_diff_rejects_foreign_schema;
         ] );

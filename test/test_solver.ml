@@ -176,7 +176,11 @@ let test_solve_generic_head_match () =
     (result_of "struct A; struct B<X>; trait T {} impl<X> T for B<X> {} goal B<A>: T;")
 
 let test_solve_candidate_records_failure () =
-  let _, _, node = solve_one "struct A; struct B; trait T {} impl T for B {} goal A: T;" in
+  (* same self head (`B<_>`), so the impl survives fast-reject and the
+     failure happens — and is recorded — inside unification *)
+  let _, _, node =
+    solve_one "struct A; struct B<X>; trait T {} impl T for B<A> {} goal B<B<A>>: T;"
+  in
   match node.candidates with
   | [ c ] ->
       check_bool "head failure recorded" true (c.failure <> None);
@@ -186,9 +190,27 @@ let test_solve_candidate_records_failure () =
 let test_solve_multiple_candidates_listed () =
   let _, _, node =
     solve_one
-      "struct A; struct B; struct C; trait T {} impl T for B {} impl T for C {} goal A: T;"
+      "struct A; struct C; struct B<X>; trait T {} impl T for B<A> {} impl T for B<C> {} \
+       goal B<B<A>>: T;"
   in
   check_int "both impls probed" 2 (List.length node.candidates)
+
+let test_solve_fast_reject_prunes_candidates () =
+  (* impls whose self head cannot unify with the goal's are never
+     probed: no candidate nodes, same [No] verdict *)
+  let _, _, node =
+    solve_one "struct A; struct B; struct C; trait T {} impl T for B {} impl T for C {} goal A: T;"
+  in
+  check_int "head-mismatched impls pruned" 0 (List.length node.candidates);
+  Alcotest.check res "still No" Solver.Res.No node.result;
+  (* a blanket impl instantiates to an inference variable: wildcard,
+     always probed *)
+  let _, _, node =
+    solve_one
+      "struct A; struct B; trait T {} trait U {} impl T for B {} impl<X> T for X where X: U {} \
+       goal A: T;"
+  in
+  check_int "blanket impl survives the reject" 1 (List.length node.candidates)
 
 (* ------------------------------------------------------------------ *)
 (* Solve: inference commits and marker types *)
@@ -777,6 +799,7 @@ let () =
           Alcotest.test_case "generic heads" `Quick test_solve_generic_head_match;
           Alcotest.test_case "failure recorded" `Quick test_solve_candidate_records_failure;
           Alcotest.test_case "candidates listed" `Quick test_solve_multiple_candidates_listed;
+          Alcotest.test_case "fast-reject prunes" `Quick test_solve_fast_reject_prunes_candidates;
           Alcotest.test_case "commit unique" `Quick test_solve_commits_unique_candidate;
           Alcotest.test_case "marker inference" `Quick test_solve_marker_inference;
           Alcotest.test_case "self hole ambiguous" `Quick test_solve_ambiguous_self_is_maybe;

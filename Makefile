@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-json bench-journal bench-parallel bench-fuzz bench-scale bench-diff fuzz perf profile ci clean
+.PHONY: build test bench bench-json bench-journal bench-parallel bench-fuzz bench-scale bench-incremental bench-diff fuzz perf profile ci clean
 
 build:
 	dune build @all
@@ -38,6 +38,12 @@ bench-fuzz:
 bench-scale:
 	dune exec bench/main.exe -- --scale-only
 
+# Re-measure only the incremental re-solving section (warm-session
+# single-declaration edit vs from-scratch solve, corpus + mega
+# libraries), preserving the other BENCH_pipeline.json sections.
+bench-incremental:
+	dune exec bench/main.exe -- --incremental-only
+
 # Perf-regression gate: re-measure the machine-readable section and
 # compare it against the committed baseline (see docs/PERFORMANCE.md
 # for the thresholds). Exits nonzero when any metric breaches the fail
@@ -71,18 +77,22 @@ perf:
 
 # What CI runs: full build, full test suite, a parallel corpus smoke
 # (all bundled programs at --jobs 4), a 200-iteration fuzz smoke at the
-# pinned seed, the bench smoke that regenerates BENCH_pipeline.json
-# (1 timed run, 1 warmup — correctness of the harness, not statistics),
-# and the perf-regression gate against the committed baseline.
+# pinned seed (all nine oracles, incremental included), a
+# non-interactive `argus watch --once` smoke, the bench smokes that
+# regenerate BENCH_pipeline.json (1 timed run, 1 warmup — correctness
+# of the harness, not statistics), and the perf-regression gate
+# against the committed baseline.
 ci:
 	dune build @all
 	dune runtest
 	dune exec bin/argus_cli.exe -- corpus --all --jobs 4
 	dune exec bin/argus_cli.exe -- fuzz --iters 200 --seed 42
+	dune exec bin/argus_cli.exe -- watch --once examples/timer.trait; test $$? -eq 1
 	cp BENCH_pipeline.json bench-baseline.json
 	dune exec bench/main.exe -- --json-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --parallel-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --scale-only --runs 1 --warmup 1
+	dune exec bench/main.exe -- --incremental-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --diff bench-baseline.json BENCH_pipeline.json --warn-above 1.5 --fail-above 25
 
 clean:

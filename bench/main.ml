@@ -647,11 +647,95 @@ let bench_scale_entries () =
   Solver.Eval_cache.set_enabled true;
   rows
 
-let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~diesel_speedup =
+(** The [incremental] suite: a single-declaration edit (drop one impl,
+    then restore it) re-solved through a warm {!Solver.Session} —
+    fingerprint diff, reverse-index eviction, stamp rebase, then a solve
+    in which green goals replay from the cache — vs the same program
+    solved from scratch with a cold cache and cold fast-reject index
+    (what a fresh argus invocation pays).  Each timed incremental run is
+    one full edit→resolve cycle, alternating the two versions so every
+    run revalidates against a genuinely different predecessor.
+
+    The mega-library rows come in two flavours per size: [hot-edit]
+    drops the FIRST impl (a trait the cached goals consult, so the
+    resolve pays real red re-solve work — speedup ≈ the green fraction
+    of total cost) and [cold-edit] drops the LAST impl (no cached goal
+    depends on it, so the cycle is pure revalidation overhead — the
+    headline ≥10× number, and the common case in a large library where
+    most edits are off any given goal's dependency path). *)
+let bench_incremental_entries () =
+  let seed = 42 in
+  Printf.printf "  %-28s %12s %12s %9s %8s %9s\n" "program" "scratch" "incr" "speedup"
+    "evicted" "survived";
+  Solver.Eval_cache.set_enabled true;
+  Solver.Fast_reject.set_enabled true;
+  let measure ?(edit_at = 0) name program =
+    let edited = Fuzz.Edit.drop_impl program edit_at in
+    let n_impls = List.length (Program.impls program) in
+    let ns_scratch =
+      time_median (fun () ->
+          Solver.Eval_cache.clear ();
+          Solver.Fast_reject.clear ();
+          Solver.Obligations.solve_program program)
+    in
+    Solver.Eval_cache.clear ();
+    Solver.Fast_reject.clear ();
+    let session = Solver.Session.create () in
+    (* warm both versions so every timed run revalidates a warm cache *)
+    ignore (Solver.Session.load session program);
+    ignore (Solver.Session.resolve session);
+    ignore (Solver.Session.edit session edited);
+    ignore (Solver.Session.resolve session);
+    let cur = ref true in
+    let ns_incr =
+      time_median (fun () ->
+          cur := not !cur;
+          ignore (Solver.Session.edit session (if !cur then program else edited));
+          Solver.Session.resolve session)
+    in
+    let delta = Solver.Session.last_delta session in
+    let speedup = ns_scratch /. ns_incr in
+    Printf.printf "  %-28s %9.2f us %9.2f us %8.2fx %8d %9d\n" name (ns_scratch /. 1e3)
+      (ns_incr /. 1e3) speedup delta.Solver.Session.d_evicted
+      delta.Solver.Session.d_survived;
+    Argus_json.Json.Obj
+      [
+        ("name", Argus_json.Json.String name);
+        ("impls", Argus_json.Json.Int n_impls);
+        ("ns_scratch", Argus_json.Json.Float ns_scratch);
+        ("ns_incr", Argus_json.Json.Float ns_incr);
+        ("speedup", Argus_json.Json.Float speedup);
+        ("evicted", Argus_json.Json.Int delta.Solver.Session.d_evicted);
+        ("survived", Argus_json.Json.Int delta.Solver.Session.d_survived);
+        ("rebased", Argus_json.Json.Int delta.Solver.Session.d_rebased);
+      ]
+  in
+  let corpus_rows =
+    List.map
+      (fun (e : Corpus.Harness.entry) -> measure e.id (Corpus.Harness.load e))
+      Corpus.Suite.entries
+  in
+  let mega_rows =
+    List.concat_map
+      (fun impls ->
+        let src = Fuzz.Gen.render (Fuzz.Gen.generate_mega ~goals:32 ~seed ~impls) in
+        let program = Resolve.program_of_string ~file:"scale.trait" src in
+        [
+          measure ~edit_at:0 (Printf.sprintf "mega-%d-hot-edit" impls) program;
+          measure ~edit_at:(-1) (Printf.sprintf "mega-%d-cold-edit" impls) program;
+        ])
+      [ 100; 1000 ]
+  in
+  Solver.Eval_cache.clear ();
+  Solver.Fast_reject.clear ();
+  corpus_rows @ mega_rows
+
+let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~incremental
+    ~diesel_speedup =
   let doc =
     Argus_json.Json.Obj
       [
-        ("schema", Argus_json.Json.String "argus.bench.pipeline/v6");
+        ("schema", Argus_json.Json.String "argus.bench.pipeline/v7");
         ("runs", Argus_json.Json.Int !bench_runs);
         ("warmup", Argus_json.Json.Int !bench_warmup);
         ("ocaml_version", Argus_json.Json.String Sys.ocaml_version);
@@ -663,6 +747,7 @@ let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~diesel_s
         ("parallel", Argus_json.Json.List parallel);
         ("fuzz", Argus_json.Json.List fuzz);
         ("scale", Argus_json.Json.List scale);
+        ("incremental", Argus_json.Json.List incremental);
       ]
   in
   let oc = open_out "BENCH_pipeline.json" in
@@ -673,9 +758,10 @@ let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~diesel_s
       output_char oc '\n');
   Printf.printf
     "wrote BENCH_pipeline.json (%d entries, %d journal rows, %d cache rows, %d parallel \
-     rows, %d fuzz rows, %d scale rows)\n"
+     rows, %d fuzz rows, %d scale rows, %d incremental rows)\n"
     (List.length entries) (List.length journal) (List.length cache)
     (List.length parallel) (List.length fuzz) (List.length scale)
+    (List.length incremental)
 
 (** A section of the existing BENCH_pipeline.json, so partial re-runs
     ([--journal-only], [--cache-only]) keep the other sections intact. *)
@@ -757,7 +843,10 @@ let bench_pipeline_json () =
   let fuzz = bench_fuzz_entries () in
   print_endline "scale: mega-library per-goal cost, index on/off (seed 42):";
   let scale = bench_scale_entries () in
-  write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~diesel_speedup
+  print_endline "incremental: single-decl edit re-solve vs from-scratch (seed 42):";
+  let incremental = bench_incremental_entries () in
+  write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~incremental
+    ~diesel_speedup
 
 (** Re-measure only the journal section, keeping the other sections of
     BENCH_pipeline.json (if any) intact. *)
@@ -769,6 +858,7 @@ let bench_journal_json () =
     ~parallel:(existing_section "parallel")
     ~fuzz:(existing_section "fuzz")
     ~scale:(existing_section "scale")
+    ~incremental:(existing_section "incremental")
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the cache section, keeping the other sections of
@@ -780,7 +870,9 @@ let bench_cache_json () =
     ~journal:(existing_section "journal") ~cache
     ~parallel:(existing_section "parallel")
     ~fuzz:(existing_section "fuzz")
-    ~scale:(existing_section "scale") ~diesel_speedup
+    ~scale:(existing_section "scale")
+    ~incremental:(existing_section "incremental")
+    ~diesel_speedup
 
 (** Re-measure only the parallel section, keeping the other sections of
     BENCH_pipeline.json (if any) intact. *)
@@ -793,6 +885,7 @@ let bench_parallel_json () =
     ~parallel
     ~fuzz:(existing_section "fuzz")
     ~scale:(existing_section "scale")
+    ~incremental:(existing_section "incremental")
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the fuzzing section, keeping the other sections of
@@ -806,6 +899,7 @@ let bench_fuzz_json () =
     ~parallel:(existing_section "parallel")
     ~fuzz
     ~scale:(existing_section "scale")
+    ~incremental:(existing_section "incremental")
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the scale section, keeping the other sections of
@@ -819,6 +913,21 @@ let bench_scale_json () =
     ~parallel:(existing_section "parallel")
     ~fuzz:(existing_section "fuzz")
     ~scale
+    ~incremental:(existing_section "incremental")
+    ~diesel_speedup:(existing_diesel_speedup ())
+
+(** Re-measure only the incremental section, keeping the other sections
+    of BENCH_pipeline.json (if any) intact. *)
+let bench_incremental_json () =
+  section "Incremental re-solving benchmark (BENCH_pipeline.json, incremental section)";
+  let incremental = bench_incremental_entries () in
+  write_pipeline_doc ~entries:(existing_section "entries")
+    ~journal:(existing_section "journal")
+    ~cache:(existing_section "cache")
+    ~parallel:(existing_section "parallel")
+    ~fuzz:(existing_section "fuzz")
+    ~scale:(existing_section "scale")
+    ~incremental
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (* ------------------------------------------------------------------ *)
@@ -905,11 +1014,13 @@ let () =
   let parallel_only = Array.exists (( = ) "--parallel-only") Sys.argv in
   let fuzz_only = Array.exists (( = ) "--fuzz-only") Sys.argv in
   let scale_only = Array.exists (( = ) "--scale-only") Sys.argv in
+  let incremental_only = Array.exists (( = ) "--incremental-only") Sys.argv in
   if journal_only then bench_journal_json ()
   else if cache_only then bench_cache_json ()
   else if parallel_only then bench_parallel_json ()
   else if fuzz_only then bench_fuzz_json ()
   else if scale_only then bench_scale_json ()
+  else if incremental_only then bench_incremental_json ()
   else if json_only then bench_pipeline_json ()
   else begin
     print_endline "Argus-ML benchmark harness — regenerating every paper table/figure";

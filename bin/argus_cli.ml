@@ -1304,6 +1304,90 @@ let interactive_cmd =
     Term.(const run $ telemetry_term $ file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* watch *)
+
+let watch_cmd =
+  let run () file interval once =
+    let session = Solver.Session.create () in
+    (* Returns the check-style exit code for this resolve: 0 clean,
+       1 trait/type errors, 2 load error.  A load error mid-watch keeps
+       the last good session state (the next successful parse
+       revalidates against it). *)
+    let resolve ~first () =
+      match load_program file with
+      | Error m ->
+          Printf.printf "%s: load error (session state kept)\n  %s\n%!" file m;
+          2
+      | Ok program ->
+          let t0 = Unix.gettimeofday () in
+          let delta = Solver.Session.edit session program in
+          let report = Solver.Session.resolve session in
+          let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+          let errors = Solver.Session.errors session in
+          Printf.printf "%s: %d goals, %d error%s in %.1f ms\n" file
+            (List.length report.Solver.Obligations.reports)
+            (List.length errors)
+            (if List.length errors = 1 then "" else "s")
+            ms;
+          if first then print_string "  initial load (cold resolve)\n"
+          else
+            Printf.printf
+              "  edit: %d decl(s) changed; cache: %d evicted, %d survived; \
+               index: %d bucket(s) carried over\n"
+              delta.Solver.Session.d_changed delta.Solver.Session.d_evicted
+              delta.Solver.Session.d_survived delta.Solver.Session.d_rebased;
+          List.iter
+            (fun (r : Solver.Obligations.goal_report) ->
+              print_string
+                (Rustc_diag.Diagnostic.to_string
+                   (Rustc_diag.Diagnostic.of_tree program r.goal
+                      (Argus.Extract.of_report r))))
+            errors;
+          print_string "\n";
+          flush stdout;
+          if errors = [] then 0 else 1
+    in
+    let code = resolve ~first:true () in
+    if once then exit code;
+    let mtime () = try Some (Unix.stat file).Unix.st_mtime with Unix.Unix_error _ -> None in
+    let rec loop last =
+      Unix.sleepf interval;
+      let m = mtime () in
+      if m <> last then ignore (resolve ~first:false ());
+      loop m
+    in
+    loop (mtime ())
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Poll period for modification-time changes.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Load, resolve, report, and exit with $(b,argus check)-style codes \
+             instead of watching — the non-interactive smoke path.")
+  in
+  let exits =
+    Cmd.Exit.info 1 ~doc:"with $(b,--once), on trait or type errors."
+    :: Cmd.Exit.info 2 ~doc:"with $(b,--once), on parse, name-resolution, or I/O errors."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "watch" ~exits
+       ~doc:
+         "Re-solve $(i,FILE) on every change through a persistent incremental \
+          session: each save is fingerprint-diffed against the previous \
+          version, only cache entries that consulted a dirtied declaration \
+          are evicted, and unaffected goals replay from the cache. Prints \
+          rustc-style diagnostics plus the edit's red-green delta.")
+    Term.(const run $ telemetry_term $ file_arg $ interval_arg $ once_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz *)
 
 let fuzz_cmd =
@@ -1395,7 +1479,8 @@ let fuzz_cmd =
       & info [ "oracle" ] ~docv:"NAME"
           ~doc:
             "Oracle(s) to run (repeatable; default: all). Known: wellformed, \
-             cache, jobs, journal, roundtrip, intern, determinism, index.")
+             cache, jobs, journal, roundtrip, intern, determinism, index, \
+             incremental.")
   in
   let shrink_arg =
     Arg.(
@@ -1443,7 +1528,7 @@ let fuzz_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let version = "1.7.0"
+let version = "1.8.0"
 
 (* With no subcommand: honour -V (short for the auto-generated
    --version), otherwise show the help page. *)
@@ -1474,6 +1559,7 @@ let main =
       explain_cmd;
       profile_cmd;
       interactive_cmd;
+      watch_cmd;
       fuzz_cmd;
     ]
 

@@ -1,0 +1,40 @@
+(** Deterministic program-level edit scripts for incremental solving.
+
+    An edit script is a sequence of single-declaration operations applied
+    to a parsed {!Trait_lang.Program.t}, producing successive program
+    versions the way a user editing a file would.  Operating on
+    declaration {e values} (rather than source text) keeps the untouched
+    declarations bit-identical across versions — the property the
+    fingerprint differ exploits — while still exercising every
+    invalidation class: impl-set changes, goal changes, and no-op-shaped
+    structural churn.
+
+    The [incremental] fuzz oracle replays each version both through a
+    warm {!Solver.Session} and from scratch and demands byte-identical
+    results; {!Bench} uses {!drop_impl} as its canonical single-decl
+    edit. *)
+
+open Trait_lang
+
+type op =
+  | Remove_impl of int  (** drop the [i]-th impl (program order) *)
+  | Dup_impl of int  (** duplicate it under a fresh [impl_id] (overlap) *)
+  | Drop_where of int  (** strip the last where-clause of the [i]-th impl *)
+  | Swap_impls of int * int  (** exchange two impls (candidate order) *)
+  | Remove_goal of int
+  | Dup_goal of int
+  | Add_struct of int  (** add an unused [newtype ZEdit<n>] (green edit) *)
+
+val describe : op -> string
+
+(** Apply one operation; identity when the index is out of range. *)
+val apply : Program.t -> op -> Program.t
+
+(** Remove the [i]-th impl, counting from the end when [i] is negative
+    ([drop_impl p (-1)] drops the last impl — the bench's single-decl
+    edit). *)
+val drop_impl : Program.t -> int -> Program.t
+
+(** A deterministic [steps]-long script for this program: the chosen ops
+    and the successive program versions (one per op, base excluded). *)
+val script : seed:int -> steps:int -> Program.t -> (op * Program.t) list

@@ -14,8 +14,10 @@ type name =
   | Intern
   | Determinism
   | Index
+  | Incremental
 
-let all = [ Wellformed; Cache; Jobs; Journal; Roundtrip; Intern; Determinism; Index ]
+let all =
+  [ Wellformed; Cache; Jobs; Journal; Roundtrip; Intern; Determinism; Index; Incremental ]
 
 let to_string = function
   | Wellformed -> "wellformed"
@@ -26,6 +28,7 @@ let to_string = function
   | Intern -> "intern"
   | Determinism -> "determinism"
   | Index -> "index"
+  | Incremental -> "incremental"
 
 let of_string s =
   List.find_opt (fun n -> String.equal (to_string n) s) all
@@ -39,6 +42,8 @@ let describe = function
   | Intern -> "structural copies intern to physically identical terms"
   | Determinism -> "two cold runs of the same source are byte-identical"
   | Index -> "fast-reject index on and --no-index runs are byte-identical"
+  | Incremental ->
+      "incremental re-solve after each edit-script step equals from-scratch"
 
 type verdict = Pass | Fail of string
 
@@ -465,6 +470,93 @@ let check_index source =
           if String.equal (fingerprint on) (fingerprint off) then Pass
           else Fail "index: byte fingerprints differ between index on and --no-index")
 
+(* Incremental ≡ from-scratch.  Drive a deterministic edit script
+   through one warm [Session] (cache + index on, revalidated across each
+   version) and, at every step, re-solve the same program value from
+   scratch with the cache disabled.  Reports, proof trees, diagnostics,
+   and the consumed journal-ID count must be byte-identical — the
+   incremental path is "selective eviction + ordinary solve", so any
+   divergence means revalidation kept an entry it should have evicted
+   (or replay broke its bit-identity contract).
+
+   The comparison deliberately omits snapshot serials: replay skips the
+   candidate snapshots a fresh evaluation takes, which is invisible in
+   every output stream but not in the raw serial counter. *)
+let check_incremental source =
+  with_cache_state @@ fun () ->
+  let was_fr = Solver.Fast_reject.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Solver.Fast_reject.set_enabled was_fr;
+      Solver.Fast_reject.clear ())
+    (fun () ->
+      match load source with
+      | Error m -> Fail m
+      | Ok base ->
+          let fp (program : Program.t) (report : Solver.Obligations.report) ids =
+            let buf = Buffer.create 4096 in
+            Buffer.add_string buf
+              (Argus_json.Json.to_string (Argus_json.Encode.report report));
+            List.iter
+              (fun (r : Solver.Obligations.goal_report) ->
+                Solver.Trace.fold_goals
+                  (fun () (g : Solver.Trace.goal_node) ->
+                    Printf.bprintf buf "g%d d%d %s;" g.gid g.depth (Pretty.predicate g.pred))
+                  () r.final;
+                if r.status <> Solver.Obligations.Proved then begin
+                  let tree = Argus.Extract.of_report r in
+                  let goal = { r.goal with Program.goal_pred = r.final.pred } in
+                  Buffer.add_string buf
+                    (Rustc_diag.Diagnostic.to_string
+                       (Rustc_diag.Diagnostic.of_tree program goal tree))
+                end)
+              report.reports;
+            Printf.bprintf buf "ids=%d" ids;
+            Buffer.contents buf
+          in
+          let scratch program =
+            Solver.Eval_cache.set_enabled false;
+            Journal.reset ();
+            Solver.Infer_ctx.reset_snapshot_serial ();
+            let report = Solver.Obligations.solve_program program in
+            Solver.Eval_cache.set_enabled true;
+            (report, Journal.peek_id ())
+          in
+          Solver.Eval_cache.set_enabled true;
+          Solver.Eval_cache.clear ();
+          Solver.Fast_reject.set_enabled true;
+          Solver.Fast_reject.clear ();
+          let session = Solver.Session.create () in
+          let check_version what program =
+            ignore (Solver.Session.edit session program);
+            let incr_report = Solver.Session.resolve session in
+            let incr_ids = Journal.peek_id () in
+            let ref_report, ref_ids = scratch program in
+            match reports_agree ~what incr_report ref_report with
+            | Some m -> Some m
+            | None ->
+                if String.equal (fp program incr_report incr_ids) (fp program ref_report ref_ids)
+                then None
+                else Some (what ^ ": byte fingerprints differ (incremental vs scratch)")
+          in
+          let seed = Hashtbl.hash source in
+          let steps = Edit.script ~seed ~steps:4 base in
+          let rec go i = function
+            | [] -> Pass
+            | (op, version) :: rest -> (
+                match
+                  check_version
+                    (Printf.sprintf "incremental: step %d (%s)" i (Edit.describe op))
+                    version
+                with
+                | Some m -> Fail m
+                | None -> go (i + 1) rest
+            )
+          in
+          (match check_version "incremental: base" base with
+          | Some m -> Fail m
+          | None -> go 1 steps))
+
 let check_determinism source =
   with_cache_state @@ fun () ->
   let e = entry source in
@@ -488,6 +580,7 @@ let check ?pool name ~source =
     | Intern -> check_intern source
     | Determinism -> check_determinism source
     | Index -> check_index source
+    | Incremental -> check_incremental source
   in
   match body () with
   | v -> v

@@ -30,6 +30,11 @@ type name =
   | Index
       (** fast-reject index on ≡ [--no-index] linear scan: reports,
           journal streams, and byte fingerprints all agree *)
+  | Incremental
+      (** drive a deterministic edit script through a warm
+          {!Solver.Session}: after every step the incremental re-solve is
+          byte-identical (reports, proof trees, diagnostics) to a
+          from-scratch cache-off solve of the same program *)
 
 (** All oracles, in campaign execution order ({!Wellformed} first). *)
 val all : name list

@@ -45,6 +45,8 @@ let sections =
     (* absent from pre-v6 baselines: missing sections only surface as
        "added in NEW", never as a failure *)
     ("scale", "impls", [ "ns_per_goal_on"; "ns_per_goal_off" ]);
+    (* absent from pre-v7 baselines, tolerated the same way *)
+    ("incremental", "name", [ "ns_scratch"; "ns_incr" ]);
   ]
 
 let number_opt = function

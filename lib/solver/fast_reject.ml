@@ -182,6 +182,31 @@ let clear () =
 let invalidate ~stamp =
   Mutex.protect registry_mu (fun () -> Hashtbl.remove registry stamp)
 
+let c_incr_rebased = Telemetry.counter "incr.rebased"
+
+(* Carry the old program's already-built trait indexes over to the new
+   stamp, except for traits whose impl set the edit changed (the differ's
+   [dirty_traits]).  The carried indexes hold the old program's impl
+   values, which the fingerprint contract guarantees are bit-identical to
+   the new program's for non-dirty traits — so [lookup = scan] still
+   holds under the new stamp, and only dirty traits pay a lazy rebuild. *)
+let rebase ~old_stamp ~new_stamp ~(dirty_traits : Path.Set.t) : int =
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt registry old_stamp with
+      | None -> 0
+      | Some px ->
+          let kept =
+            Path.Map.filter
+              (fun t _ -> not (Path.Set.mem t dirty_traits))
+              (Atomic.get px.px_traits)
+          in
+          Hashtbl.remove registry old_stamp;
+          if Hashtbl.length registry >= max_programs then Hashtbl.reset registry;
+          Hashtbl.replace registry new_stamp { px_traits = Atomic.make kept };
+          let n = Path.Map.cardinal kept in
+          Telemetry.add c_incr_rebased n;
+          n)
+
 let prog_index_of (p : Program.t) : prog_index =
   let stamp = Program.stamp p in
   Mutex.protect registry_mu (fun () ->

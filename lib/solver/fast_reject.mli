@@ -88,6 +88,12 @@ val clear : unit -> unit
 (** Drop the index for one program stamp (watch-mode hook). *)
 val invalidate : stamp:int -> unit
 
+(** Incremental rebase: carry [old_stamp]'s built trait indexes over to
+    [new_stamp], dropping exactly the traits whose impl set the edit
+    changed (they rebuild lazily on next lookup).  Returns the number of
+    trait indexes carried over; bumps the [incr.rebased] counter. *)
+val rebase : old_stamp:int -> new_stamp:int -> dirty_traits:Path.Set.t -> int
+
 (** {2 Introspection (tests, stats)} *)
 
 (** Forced index-path lookup. *)

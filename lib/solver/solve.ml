@@ -144,6 +144,9 @@ let muted f =
     [--no-index] linear scan compute the same list in declaration
     order, so the trace and journal are identical either way. *)
 let impl_candidates st (trait_path : Path.t) (self : Ty.t) : Decl.impl list =
+  (* Candidate enumeration reads the trait's whole impl set — the
+     incremental invalidation unit for impl edits. *)
+  Eval_cache.record_dep (Fingerprint.Dep_impls trait_path);
   Fast_reject.candidates
     ~use_index:(st.cfg.enable_index && Fast_reject.enabled ())
     st.program trait_path self
@@ -668,6 +671,10 @@ and eval_proj_impl_candidate st ~goal ~depth ~commit (impl : Decl.impl) (proj : 
 (** Look up the impl's binding for [assoc], falling back to the trait's
     declared default. *)
 and binding_of_impl st (impl : Decl.impl) subst assoc : Ty.t option =
+  (* The default-binding fallback reads the trait declaration; recorded
+     unconditionally so a trait edit (e.g. adding a default) invalidates
+     entries that resolved an assoc type through one of its impls. *)
+  Eval_cache.record_dep (Fingerprint.Dep_trait impl.impl_trait.trait);
   match
     List.find_opt (fun (b : Decl.assoc_ty_binding) -> b.bind_name = assoc) impl.impl_assocs
   with
@@ -923,11 +930,19 @@ let evaluate st ?(origin = "evaluate") ?(span = Span.dummy) pred : Res.t =
         if Journal.enabled () then run_full () else r
     | None ->
         Jlog.cache_miss ~goal:(Journal.peek_id ()) ~tier:"result";
-        let node = solve st ~origin ~span pred in
+        Eval_cache.push_dep_scope ();
+        let node =
+          match solve st ~origin ~span pred with
+          | node -> node
+          | exception e ->
+              ignore (Eval_cache.pop_dep_scope ());
+              raise e
+        in
+        let deps = Eval_cache.pop_dep_scope () in
         let clean =
           Trace.fold_goals (fun acc g -> acc && not (Trace.is_overflow g)) true node
         in
-        if clean then Eval_cache.insert_result key node.result;
+        if clean then Eval_cache.insert_result ~deps key node.result;
         node.result
   end
 

@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-json bench-journal bench-parallel bench-fuzz bench-scale bench-incremental bench-diff fuzz perf profile ci clean
+.PHONY: build test bench bench-json bench-journal bench-parallel bench-fuzz bench-scale bench-incremental bench-serve bench-diff fuzz perf profile serve-smoke ci clean
 
 build:
 	dune build @all
@@ -44,6 +44,13 @@ bench-scale:
 bench-incremental:
 	dune exec bench/main.exe -- --incremental-only
 
+# Re-measure only the serve-daemon load section (1000 concurrent
+# session scripts against one live server, jobs 1 and 4: throughput,
+# p50/p99 latency, cold vs warm cache hit rates), preserving the other
+# BENCH_pipeline.json sections.
+bench-serve:
+	dune exec bench/main.exe -- --serve-only
+
 # Perf-regression gate: re-measure the machine-readable section and
 # compare it against the committed baseline (see docs/PERFORMANCE.md
 # for the thresholds). Exits nonzero when any metric breaches the fail
@@ -68,6 +75,24 @@ profile:
 fuzz:
 	dune exec bin/argus_cli.exe -- fuzz --iters 500 --seed 42 --shrink
 
+# End-to-end smoke of the serve daemon over its stdio transport: pipe
+# a 4-line JSON-RPC script (open the paper's timer example, solve,
+# render the tree, shut down) through `argus serve` and check that
+# every request got a well-formed response and the shutdown was acked
+# (see docs/SERVE.md).
+serve-smoke:
+	printf '%s\n' \
+	  '{"jsonrpc":"2.0","id":1,"method":"open","params":{"session":"smoke","path":"examples/timer.trait"}}' \
+	  '{"jsonrpc":"2.0","id":2,"method":"solve","params":{"session":"smoke"}}' \
+	  '{"jsonrpc":"2.0","id":3,"method":"tree","params":{"session":"smoke"}}' \
+	  '{"jsonrpc":"2.0","id":4,"method":"shutdown"}' \
+	  | dune exec bin/argus_cli.exe -- serve > serve-smoke.jsonl
+	test "$$(wc -l < serve-smoke.jsonl)" -eq 4
+	test "$$(grep -c '"jsonrpc":"2.0"' serve-smoke.jsonl)" -eq 4
+	grep -q '"ok":true' serve-smoke.jsonl
+	! grep -q '"error"' serve-smoke.jsonl
+	rm -f serve-smoke.jsonl
+
 # Re-measure the performance sections — the evaluation-cache on/off
 # comparison and the parallel batch curves (see docs/PERFORMANCE.md) —
 # preserving the other BENCH_pipeline.json sections.
@@ -77,22 +102,24 @@ perf:
 
 # What CI runs: full build, full test suite, a parallel corpus smoke
 # (all bundled programs at --jobs 4), a 200-iteration fuzz smoke at the
-# pinned seed (all nine oracles, incremental included), a
-# non-interactive `argus watch --once` smoke, the bench smokes that
-# regenerate BENCH_pipeline.json (1 timed run, 1 warmup — correctness
-# of the harness, not statistics), and the perf-regression gate
-# against the committed baseline.
+# pinned seed (all ten oracles, serve and incremental included), a
+# non-interactive `argus watch --once` smoke, the serve stdio-transport
+# smoke, the bench smokes that regenerate BENCH_pipeline.json (1 timed
+# run, 1 warmup — correctness of the harness, not statistics), and the
+# perf-regression gate against the committed baseline.
 ci:
 	dune build @all
 	dune runtest
 	dune exec bin/argus_cli.exe -- corpus --all --jobs 4
 	dune exec bin/argus_cli.exe -- fuzz --iters 200 --seed 42
 	dune exec bin/argus_cli.exe -- watch --once examples/timer.trait; test $$? -eq 1
+	$(MAKE) serve-smoke
 	cp BENCH_pipeline.json bench-baseline.json
 	dune exec bench/main.exe -- --json-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --parallel-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --scale-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --incremental-only --runs 1 --warmup 1
+	dune exec bench/main.exe -- --serve-only --runs 1 --warmup 1
 	dune exec bench/main.exe -- --diff bench-baseline.json BENCH_pipeline.json --warn-above 1.5 --fail-above 25
 
 clean:

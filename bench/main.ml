@@ -730,12 +730,60 @@ let bench_incremental_entries () =
   Solver.Fast_reject.clear ();
   corpus_rows @ mega_rows
 
+(** The [serve] suite: the seeded load generator ({!Fuzz.Serve_load})
+    replays 1000 concurrent two-phase session scripts — cold
+    open+solve, then warm tree/expand/hover/explain plus an edited
+    reload and re-solve — against one long-lived in-process server, at
+    [jobs = 1] (sequential baseline) and on a 4-worker domain pool.
+    The warm-phase cache hit rate strictly above the cold rate is the
+    daemon's reason to exist: the eval cache survives across requests
+    and sessions, rebased through every reload. *)
+let bench_serve_entries () =
+  let seed = 42 and clients = 1000 in
+  Printf.printf "  %-10s %8s %9s %14s %12s %12s %9s %9s\n" "name" "clients"
+    "requests" "throughput" "p50" "p99" "cold-hit" "warm-hit";
+  let row name jobs =
+    let pool = if jobs = 1 then None else Some (Pool.create ~jobs) in
+    let stats = Fuzz.Serve_load.run ?pool ~jobs ~clients ~seed () in
+    Option.iter Pool.shutdown pool;
+    Printf.printf
+      "  %-10s %8d %9d %10.0f rps %9.1f us %9.1f us %8.1f%% %8.1f%%\n" name
+      stats.Fuzz.Serve_load.ls_clients stats.Fuzz.Serve_load.ls_requests
+      stats.Fuzz.Serve_load.ls_throughput_rps
+      (float_of_int stats.Fuzz.Serve_load.ls_p50_ns /. 1e3)
+      (float_of_int stats.Fuzz.Serve_load.ls_p99_ns /. 1e3)
+      (stats.Fuzz.Serve_load.ls_cold_hit_rate *. 100.0)
+      (stats.Fuzz.Serve_load.ls_warm_hit_rate *. 100.0);
+    Argus_json.Json.Obj
+      [
+        ("name", Argus_json.Json.String name);
+        ("jobs", Argus_json.Json.Int jobs);
+        ("clients", Argus_json.Json.Int stats.Fuzz.Serve_load.ls_clients);
+        ("requests", Argus_json.Json.Int stats.Fuzz.Serve_load.ls_requests);
+        ("errors", Argus_json.Json.Int stats.Fuzz.Serve_load.ls_errors);
+        ( "throughput_rps",
+          Argus_json.Json.Float stats.Fuzz.Serve_load.ls_throughput_rps );
+        ("p50_ns", Argus_json.Json.Int stats.Fuzz.Serve_load.ls_p50_ns);
+        ("p99_ns", Argus_json.Json.Int stats.Fuzz.Serve_load.ls_p99_ns);
+        ( "cold_hit_rate",
+          Argus_json.Json.Float stats.Fuzz.Serve_load.ls_cold_hit_rate );
+        ( "warm_hit_rate",
+          Argus_json.Json.Float stats.Fuzz.Serve_load.ls_warm_hit_rate );
+      ]
+  in
+  let j1 = row "serve-j1" 1 in
+  let j4 = row "serve-j4" 4 in
+  let rows = [ j1; j4 ] in
+  Solver.Eval_cache.clear ();
+  Solver.Fast_reject.clear ();
+  rows
+
 let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~incremental
-    ~diesel_speedup =
+    ~serve ~diesel_speedup =
   let doc =
     Argus_json.Json.Obj
       [
-        ("schema", Argus_json.Json.String "argus.bench.pipeline/v7");
+        ("schema", Argus_json.Json.String "argus.bench.pipeline/v8");
         ("runs", Argus_json.Json.Int !bench_runs);
         ("warmup", Argus_json.Json.Int !bench_warmup);
         ("ocaml_version", Argus_json.Json.String Sys.ocaml_version);
@@ -748,6 +796,7 @@ let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~incremen
         ("fuzz", Argus_json.Json.List fuzz);
         ("scale", Argus_json.Json.List scale);
         ("incremental", Argus_json.Json.List incremental);
+        ("serve", Argus_json.Json.List serve);
       ]
   in
   let oc = open_out "BENCH_pipeline.json" in
@@ -758,10 +807,10 @@ let write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~incremen
       output_char oc '\n');
   Printf.printf
     "wrote BENCH_pipeline.json (%d entries, %d journal rows, %d cache rows, %d parallel \
-     rows, %d fuzz rows, %d scale rows, %d incremental rows)\n"
+     rows, %d fuzz rows, %d scale rows, %d incremental rows, %d serve rows)\n"
     (List.length entries) (List.length journal) (List.length cache)
     (List.length parallel) (List.length fuzz) (List.length scale)
-    (List.length incremental)
+    (List.length incremental) (List.length serve)
 
 (** A section of the existing BENCH_pipeline.json, so partial re-runs
     ([--journal-only], [--cache-only]) keep the other sections intact. *)
@@ -845,8 +894,10 @@ let bench_pipeline_json () =
   let scale = bench_scale_entries () in
   print_endline "incremental: single-decl edit re-solve vs from-scratch (seed 42):";
   let incremental = bench_incremental_entries () in
+  print_endline "serve: 1000-client session scripts against one live server (seed 42):";
+  let serve = bench_serve_entries () in
   write_pipeline_doc ~entries ~journal ~cache ~parallel ~fuzz ~scale ~incremental
-    ~diesel_speedup
+    ~serve ~diesel_speedup
 
 (** Re-measure only the journal section, keeping the other sections of
     BENCH_pipeline.json (if any) intact. *)
@@ -859,6 +910,7 @@ let bench_journal_json () =
     ~fuzz:(existing_section "fuzz")
     ~scale:(existing_section "scale")
     ~incremental:(existing_section "incremental")
+    ~serve:(existing_section "serve")
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the cache section, keeping the other sections of
@@ -872,6 +924,7 @@ let bench_cache_json () =
     ~fuzz:(existing_section "fuzz")
     ~scale:(existing_section "scale")
     ~incremental:(existing_section "incremental")
+    ~serve:(existing_section "serve")
     ~diesel_speedup
 
 (** Re-measure only the parallel section, keeping the other sections of
@@ -886,6 +939,7 @@ let bench_parallel_json () =
     ~fuzz:(existing_section "fuzz")
     ~scale:(existing_section "scale")
     ~incremental:(existing_section "incremental")
+    ~serve:(existing_section "serve")
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the fuzzing section, keeping the other sections of
@@ -900,6 +954,7 @@ let bench_fuzz_json () =
     ~fuzz
     ~scale:(existing_section "scale")
     ~incremental:(existing_section "incremental")
+    ~serve:(existing_section "serve")
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the scale section, keeping the other sections of
@@ -914,6 +969,7 @@ let bench_scale_json () =
     ~fuzz:(existing_section "fuzz")
     ~scale
     ~incremental:(existing_section "incremental")
+    ~serve:(existing_section "serve")
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (** Re-measure only the incremental section, keeping the other sections
@@ -928,6 +984,22 @@ let bench_incremental_json () =
     ~fuzz:(existing_section "fuzz")
     ~scale:(existing_section "scale")
     ~incremental
+    ~serve:(existing_section "serve")
+    ~diesel_speedup:(existing_diesel_speedup ())
+
+(** Re-measure only the serve section, keeping the other sections of
+    BENCH_pipeline.json (if any) intact. *)
+let bench_serve_json () =
+  section "Serve load benchmark (BENCH_pipeline.json, serve section)";
+  let serve = bench_serve_entries () in
+  write_pipeline_doc ~entries:(existing_section "entries")
+    ~journal:(existing_section "journal")
+    ~cache:(existing_section "cache")
+    ~parallel:(existing_section "parallel")
+    ~fuzz:(existing_section "fuzz")
+    ~scale:(existing_section "scale")
+    ~incremental:(existing_section "incremental")
+    ~serve
     ~diesel_speedup:(existing_diesel_speedup ())
 
 (* ------------------------------------------------------------------ *)
@@ -1015,12 +1087,14 @@ let () =
   let fuzz_only = Array.exists (( = ) "--fuzz-only") Sys.argv in
   let scale_only = Array.exists (( = ) "--scale-only") Sys.argv in
   let incremental_only = Array.exists (( = ) "--incremental-only") Sys.argv in
+  let serve_only = Array.exists (( = ) "--serve-only") Sys.argv in
   if journal_only then bench_journal_json ()
   else if cache_only then bench_cache_json ()
   else if parallel_only then bench_parallel_json ()
   else if fuzz_only then bench_fuzz_json ()
   else if scale_only then bench_scale_json ()
   else if incremental_only then bench_incremental_json ()
+  else if serve_only then bench_serve_json ()
   else if json_only then bench_pipeline_json ()
   else begin
     print_endline "Argus-ML benchmark harness — regenerating every paper table/figure";

@@ -248,102 +248,22 @@ type check_unit_result = {
 let check_unit ~no_coherence ~journal ~timestamps path : check_unit_result =
   Journal.reset ();
   Solver.Infer_ctx.reset_snapshot_serial ();
-  let buf = Buffer.create 1024 in
-  let bpf fmt = Printf.bprintf buf fmt in
+  (* Rendering lives in Serve.Check_render, shared with the serve
+     protocol's `solve` verb so daemon responses are byte-identical to
+     this one-shot path by construction. *)
+  let out = ref "" in
   let issues = ref 0 in
   let check () =
     match load_program path with
     | Error m -> Some m
     | Ok program ->
         let report = Solver.Obligations.solve_program program in
-        (* declaration-level checks first: overlap, orphan rule, impl WF *)
-        if not no_coherence then begin
-          List.iter
-            (fun (o : Solver.Coherence.overlap) ->
-              incr issues;
-              bpf
-                "error[E0119]: conflicting implementations of trait `%s` for type `%s`\n"
-                (Trait_lang.Path.name o.trait_)
-                (Trait_lang.Pretty.ty o.witness))
-            (Solver.Coherence.check program);
-          List.iter
-            (fun (o : Solver.Coherence.orphan) ->
-              incr issues;
-              bpf
-                "error[E0117]: only traits defined in the current crate can be implemented \
-                 for arbitrary types (`%s` for `%s` at %s)\n"
-                (Trait_lang.Path.to_string o.o_trait)
-                (Trait_lang.Pretty.ty o.o_self)
-                (Trait_lang.Span.to_string o.o_impl.impl_span))
-            (Solver.Coherence.orphan_violations program);
-          List.iter
-            (fun (f : Solver.Coherence.wf_failure) ->
-              incr issues;
-              bpf
-                "error[E0277]: the associated type binding `%s` does not satisfy `%s` (%s)\n"
-                f.wf_assoc
-                (Trait_lang.Pretty.trait_ref f.wf_bound)
-                (Trait_lang.Span.to_string f.wf_impl.impl_span))
-            (Solver.Coherence.check_impl_wf program)
-        end;
-        let print_goal_report (r : Solver.Obligations.goal_report) =
-          let status =
-            match r.status with
-            | Solver.Obligations.Proved -> "ok"
-            | Solver.Obligations.Disproved -> "ERROR"
-            | Solver.Obligations.Ambiguous -> "AMBIGUOUS"
-          in
-          bpf "[%s] %s\n" status (Trait_lang.Pretty.predicate r.final.pred);
-          if r.status <> Solver.Obligations.Proved then begin
-            incr issues;
-            let tree = Argus.Extract.of_report r in
-            (* report the goal as the solver last saw it (inference holes
-               filled in), not as the source wrote it *)
-            let goal = { r.goal with Trait_lang.Program.goal_pred = r.final.pred } in
-            let diag = Rustc_diag.Diagnostic.of_tree program goal tree in
-            Buffer.add_char buf '\n';
-            Buffer.add_string buf (Rustc_diag.Diagnostic.to_string diag);
-            Buffer.add_char buf '\n';
-            (* under --profile, also exercise the Argus pipeline (DNF
-               ranking + rendering) so the report covers those phases *)
-            if Telemetry.enabled () then begin
-              ignore (Argus.Inertia.rank tree);
-              ignore (Argus.Render.tree_to_string tree)
-            end
-          end
+        let rendered, n =
+          Serve.Check_render.run ~no_coherence
+            ~profile_pipeline:(Telemetry.enabled ()) program report
         in
-        List.iter print_goal_report report.reports;
-        (* type-check fn bodies: the obligations they generate run through
-           the same machinery *)
-        let tc = Typeck.Infer.check_program program in
-        List.iter
-          (fun (fr : Typeck.Infer.fn_report) ->
-            bpf "fn %s:\n" (Trait_lang.Path.name fr.fr_fn.fn_path);
-            List.iter
-              (fun (e : Typeck.Infer.type_error) ->
-                incr issues;
-                bpf "error[E0308]: %s\n  --> %s\n" e.te_message
-                  (Trait_lang.Span.to_string e.te_span))
-              fr.fr_type_errors;
-            List.iter
-              (fun (p : Typeck.Infer.probe) ->
-                if p.p_chosen = None then begin
-                  incr issues;
-                  bpf
-                    "error[E0599]: no method named `%s` found for `%s`; probed candidates:\n"
-                    p.p_method
-                    (Trait_lang.Pretty.ty p.p_recv_ty);
-                  List.iter
-                    (fun tree ->
-                      Buffer.add_string buf
-                        (Argus.Render.tree_to_string ~direction:Argus.View_state.Top_down
-                           tree);
-                      Buffer.add_char buf '\n')
-                    (Argus.Extract.of_probe p.p_nodes)
-                end)
-              fr.fr_probes;
-            List.iter print_goal_report fr.fr_obligations)
-          tc.fr_fns;
+        out := rendered;
+        issues := n;
         None
   in
   let err, entries =
@@ -351,7 +271,7 @@ let check_unit ~no_coherence ~journal ~timestamps path : check_unit_result =
   in
   {
     u_path = path;
-    u_out = Buffer.contents buf;
+    u_out = !out;
     u_err = err;
     u_issues = !issues;
     u_journal =
@@ -692,90 +612,9 @@ let study_cmd =
 (* explain *)
 
 let explain_cmd =
-  let pp_pred = Trait_lang.Pretty.predicate in
-  let cand_line ~indent (c : Journal.rcand) =
-    let status =
-      match c.Journal.rc_failure with
-      | Some f -> (
-          Printf.sprintf "rejected: %s%s" (Journal.failure_to_string f)
-            (match Journal.rejecting_unify c with
-            | Some e -> Printf.sprintf " (unify event seq %d)" e.Journal.seq
-            | None -> ""))
-      | None -> Journal.res_to_string c.Journal.rc_result
-    in
-    Printf.printf "%s- candidate #%d %s — %s\n" indent c.Journal.rc_id
-      (Journal.source_to_string c.Journal.rc_source)
-      status
-  in
-  (* Under --timings, [prof] maps stable node IDs to wall-time figures
-     attributed from the journal's ts_ns deltas. *)
-  let time_suffix prof id =
-    match Option.bind prof (fun p -> Profile.heat_of_id p id) with
-    | Some (_, label) -> Printf.sprintf "  [%s]" label
-    | None -> ""
-  in
-  let print_goal ?prof (t : Journal.replay_tree) (g : Journal.rgoal) =
-    Printf.printf "goal #%d: %s\n" g.Journal.rg_id (pp_pred g.Journal.rg_pred);
-    Printf.printf "  result: %s\n" (Journal.res_to_string g.Journal.rg_result);
-    Printf.printf "  depth: %d\n" g.Journal.rg_depth;
-    Printf.printf "  provenance: %s\n" (Journal.prov_to_string g.Journal.rg_prov);
-    (match Option.bind prof (fun p -> Profile.heat_of_id p g.Journal.rg_id) with
-    | Some (_, label) -> Printf.printf "  time: %s\n" label
-    | None -> ());
-    if g.Journal.rg_flags <> [] then
-      Printf.printf "  flags: %s\n"
-        (String.concat ", " (List.map Journal.flag_to_string g.Journal.rg_flags));
-    (* ancestry: walk rt_parent to the root, innermost first *)
-    let rec chain acc id =
-      match Hashtbl.find_opt t.Journal.rt_parent id with
-      | None -> acc
-      | Some p -> chain (p :: acc) p
-    in
-    (match chain [] g.Journal.rg_id with
-    | [] -> ()
-    | ancestors ->
-        print_endline "  within:";
-        List.iter
-          (fun id ->
-            match Hashtbl.find_opt t.Journal.rt_goals id with
-            | Some a ->
-                Printf.printf "    goal #%d %s [%s]\n" id (pp_pred a.Journal.rg_pred)
-                  (Journal.res_to_string a.Journal.rg_result)
-            | None -> (
-                match Hashtbl.find_opt t.Journal.rt_cands id with
-                | Some c ->
-                    Printf.printf "    candidate #%d %s\n" id
-                      (Journal.source_to_string c.Journal.rc_source)
-                | None -> ()))
-          ancestors);
-    match g.Journal.rg_cands with
-    | [] -> ()
-    | cands ->
-        Printf.printf "  candidates (%d):\n" (List.length cands);
-        List.iter (cand_line ~indent:"    ") cands
-  in
-  let print_cand ?prof (t : Journal.replay_tree) (c : Journal.rcand) =
-    Printf.printf "candidate #%d: %s\n" c.Journal.rc_id
-      (Journal.source_to_string c.Journal.rc_source);
-    Printf.printf "  result: %s\n" (Journal.res_to_string c.Journal.rc_result);
-    (match Option.bind prof (fun p -> Profile.heat_of_id p c.Journal.rc_id) with
-    | Some (_, label) -> Printf.printf "  time: %s\n" label
-    | None -> ());
-    (match Hashtbl.find_opt t.Journal.rt_parent c.Journal.rc_id with
-    | Some p -> (
-        match Hashtbl.find_opt t.Journal.rt_goals p with
-        | Some g -> Printf.printf "  for goal: #%d %s\n" p (pp_pred g.Journal.rg_pred)
-        | None -> ())
-    | None -> ());
-    (match c.Journal.rc_failure with
-    | Some f ->
-        Printf.printf "  rejected: %s\n" (Journal.failure_to_string f);
-        (match Journal.rejecting_unify c with
-        | Some e -> Printf.printf "  rejecting unify event: seq %d\n" e.Journal.seq
-        | None -> ())
-    | None -> ());
-    Printf.printf "  subgoals: %d\n" (List.length c.Journal.rc_subgoals)
-  in
+  (* Rendering lives in Serve.Explain_render, shared with the serve
+     protocol's `explain` verb so daemon responses are byte-identical to
+     this offline path by construction. *)
   let run () file node_id failures timings =
     let text =
       try read_file file
@@ -808,59 +647,17 @@ let explain_cmd =
     | Ok tree -> (
         match node_id with
         | Some id -> (
-            match
-              ( Hashtbl.find_opt tree.Journal.rt_goals id,
-                Hashtbl.find_opt tree.Journal.rt_cands id )
-            with
-            | Some g, _ -> print_goal ?prof tree g
-            | None, Some c -> print_cand ?prof tree c
-            | None, None ->
-                Printf.eprintf "error: no event node with ID %d\n" id;
+            match Serve.Explain_render.node ?prof tree id with
+            | Ok out -> print_string out
+            | Error m ->
+                Printf.eprintf "error: %s\n" m;
                 exit 1)
         | None ->
-            if failures then
-              List.iter
-                (fun (root : Journal.rgoal) ->
-                  match Journal.failed_leaves root with
-                  | [] -> ()
-                  | leaves ->
-                      Printf.printf "root #%d: %s [%s]%s\n" root.Journal.rg_id
-                        (pp_pred root.Journal.rg_pred)
-                        (Journal.res_to_string root.Journal.rg_result)
-                        (time_suffix prof root.Journal.rg_id);
-                      List.iter
-                        (fun (g : Journal.rgoal) ->
-                          Printf.printf "  failed leaf #%d: %s%s\n" g.Journal.rg_id
-                            (pp_pred g.Journal.rg_pred)
-                            (time_suffix prof g.Journal.rg_id);
-                          List.iter
-                            (fun (c : Journal.rcand) ->
-                              if c.Journal.rc_failure <> None then
-                                cand_line ~indent:"    " c)
-                            g.Journal.rg_cands)
-                        leaves)
-                tree.Journal.rt_roots
-            else begin
-              let failed =
-                List.concat_map Journal.failed_leaves tree.Journal.rt_roots
-              in
-              Printf.printf "journal: %d events, %d roots, %d goals, %d failed leaves\n"
-                (List.length entries)
-                (List.length tree.Journal.rt_roots)
-                (Hashtbl.length tree.Journal.rt_goals)
-                (List.length failed);
-              List.iter
-                (fun (root : Journal.rgoal) ->
-                  Printf.printf "  root #%d [%s] %s%s\n" root.Journal.rg_id
-                    (Journal.res_to_string root.Journal.rg_result)
-                    (pp_pred root.Journal.rg_pred)
-                    (time_suffix prof root.Journal.rg_id))
-                tree.Journal.rt_roots;
-              if failed <> [] then
-                print_endline
-                  "hint: `argus explain --failures` narrates the failed leaves; \
-                   `argus explain --node ID` drills into one node"
-            end)
+            if failures then print_string (Serve.Explain_render.failures ?prof tree)
+            else
+              print_string
+                (Serve.Explain_render.summary ?prof ~entries:(List.length entries)
+                   tree))
   in
   let events_file_arg =
     Arg.(
@@ -1388,6 +1185,100 @@ let watch_cmd =
     Term.(const run $ telemetry_term $ file_arg $ interval_arg $ once_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve_cmd =
+  let run () socket tcp =
+    let server = Serve.Server.create () in
+    (* One connection's read loop: newline-delimited JSON-RPC in, one
+       response line (flushed) per request out.  Returns when the peer
+       closes or a [shutdown] lands. *)
+    let serve_channel ic oc =
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+            (match Serve.Server.handle_line server line with
+            | Some resp ->
+                output_string oc resp;
+                output_char oc '\n';
+                flush oc
+            | None -> ());
+            if not (Serve.Server.shutting_down server) then loop ()
+      in
+      loop ()
+    in
+    let listen_loop sock cleanup =
+      let rec accept_loop () =
+        if not (Serve.Server.shutting_down server) then begin
+          let fd, _ = Unix.accept sock in
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          (try serve_channel ic oc with End_of_file | Sys_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ();
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      cleanup ();
+      exit 0
+    in
+    match (socket, tcp) with
+    | Some _, Some _ ->
+        prerr_endline "error: --socket and --tcp are mutually exclusive";
+        exit 2
+    | None, None ->
+        serve_channel stdin stdout;
+        exit 0
+    | Some path, None ->
+        if Sys.file_exists path then Sys.remove path;
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 8;
+        Printf.eprintf "argus serve: listening on %s\n%!" path;
+        listen_loop sock (fun () -> try Sys.remove path with Sys_error _ -> ())
+    | None, Some port ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen sock 8;
+        Printf.eprintf "argus serve: listening on 127.0.0.1:%d\n%!" port;
+        listen_loop sock (fun () -> ())
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket at $(docv) (sequential accept \
+             loop; sessions persist across connections) instead of stdio.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:"Listen on 127.0.0.1:$(docv) instead of stdio.")
+  in
+  let observability_term =
+    Term.(
+      const observability_setup $ profile_arg $ trace_out_arg $ no_cache_arg $ no_index_arg
+      $ trace_buffer_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent session daemon: newline-delimited JSON-RPC 2.0 \
+          over stdio (default), a Unix socket, or TCP. Verbs: open, reload, \
+          solve, tree, expand, hover, explain, profile, shutdown. The \
+          interner, evaluation cache, and fast-reject indexes stay warm \
+          across requests; solve/tree/explain responses are byte-identical \
+          to the equivalent one-shot subcommand. See docs/SERVE.md.")
+    Term.(const run $ observability_term $ socket_arg $ tcp_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz *)
 
 let fuzz_cmd =
@@ -1527,8 +1418,97 @@ let fuzz_cmd =
       $ size_arg $ out_arg $ replay_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* bench *)
 
-let version = "1.8.0"
+(* [argus bench serve]: the in-process serve load generator, as a
+   self-checking gate — exits 1 when any request errors or when the
+   warm-phase cache hit rate fails to clear the cold-phase rate (the
+   property the daemon exists for).  The full BENCH_pipeline.json
+   section is written by the bench harness ([make bench-serve]). *)
+let bench_serve_cmd =
+  let run clients seed jobs programs =
+    let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+    let stats =
+      match pool with
+      | Some _ ->
+          Fun.protect
+            ~finally:(fun () -> Option.iter Pool.shutdown pool)
+            (fun () -> Fuzz.Serve_load.run ?pool ~jobs ~programs ~clients ~seed ())
+      | None -> Fuzz.Serve_load.run ~jobs ~programs ~clients ~seed ()
+    in
+    Printf.printf "serve load: %d clients x 2-phase session script (seed %d, jobs %d)\n"
+      stats.Fuzz.Serve_load.ls_clients seed jobs;
+    Printf.printf "  requests    %d (%d errors)\n" stats.Fuzz.Serve_load.ls_requests
+      stats.Fuzz.Serve_load.ls_errors;
+    Printf.printf "  wall        %.2f ms\n"
+      (float_of_int stats.Fuzz.Serve_load.ls_wall_ns /. 1e6);
+    Printf.printf "  throughput  %.0f req/s\n" stats.Fuzz.Serve_load.ls_throughput_rps;
+    Printf.printf "  latency     p50 %.1f us, p99 %.1f us\n"
+      (float_of_int stats.Fuzz.Serve_load.ls_p50_ns /. 1e3)
+      (float_of_int stats.Fuzz.Serve_load.ls_p99_ns /. 1e3);
+    Printf.printf "  cache cold  %d hits / %d misses (%.1f%%)\n"
+      stats.Fuzz.Serve_load.ls_cold_hits stats.Fuzz.Serve_load.ls_cold_misses
+      (stats.Fuzz.Serve_load.ls_cold_hit_rate *. 100.0);
+    Printf.printf "  cache warm  %d hits / %d misses (%.1f%%)\n"
+      stats.Fuzz.Serve_load.ls_warm_hits stats.Fuzz.Serve_load.ls_warm_misses
+      (stats.Fuzz.Serve_load.ls_warm_hit_rate *. 100.0);
+    if stats.Fuzz.Serve_load.ls_errors > 0 then begin
+      Printf.eprintf "error: %d request(s) answered with a JSON-RPC error\n"
+        stats.Fuzz.Serve_load.ls_errors;
+      exit 1
+    end;
+    if stats.Fuzz.Serve_load.ls_warm_hit_rate <= stats.Fuzz.Serve_load.ls_cold_hit_rate
+    then begin
+      Printf.eprintf
+        "error: warm hit rate %.1f%% does not clear the cold rate %.1f%% — the eval \
+         cache did not survive across requests\n"
+        (stats.Fuzz.Serve_load.ls_warm_hit_rate *. 100.0)
+        (stats.Fuzz.Serve_load.ls_cold_hit_rate *. 100.0);
+      exit 1
+    end
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "clients" ] ~docv:"N" ~doc:"Number of concurrent session scripts.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the generated program pool.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N" ~doc:"Domain-pool workers driving the clients.")
+  in
+  let programs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "programs" ] ~docv:"N"
+          ~doc:"Size of the generated program pool clients draw from.")
+  in
+  let exits =
+    Cmd.Exit.info 1
+      ~doc:"when a request errors or the warm hit rate fails to clear the cold rate."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Replay seeded concurrent session scripts (open/solve/tree/expand/hover/\
+          explain/reload) against an in-process serve daemon and report throughput, \
+          latency percentiles, and warm-vs-cold cache hit rates.")
+    Term.(const run $ clients_arg $ seed_arg $ jobs_arg $ programs_arg)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench" ~doc:"In-process load benchmarks (see also $(b,make bench).)")
+    [ bench_serve_cmd ]
+
+(* ------------------------------------------------------------------ *)
+
+let version = "1.9.0"
 
 (* With no subcommand: honour -V (short for the auto-generated
    --version), otherwise show the help page. *)
@@ -1560,7 +1540,9 @@ let main =
       profile_cmd;
       interactive_cmd;
       watch_cmd;
+      serve_cmd;
       fuzz_cmd;
+      bench_cmd;
     ]
 
 let () = exit (Cmd.eval main)

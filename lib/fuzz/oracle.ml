@@ -15,9 +15,21 @@ type name =
   | Determinism
   | Index
   | Incremental
+  | Serve
 
 let all =
-  [ Wellformed; Cache; Jobs; Journal; Roundtrip; Intern; Determinism; Index; Incremental ]
+  [
+    Wellformed;
+    Cache;
+    Jobs;
+    Journal;
+    Roundtrip;
+    Intern;
+    Determinism;
+    Index;
+    Incremental;
+    Serve;
+  ]
 
 let to_string = function
   | Wellformed -> "wellformed"
@@ -29,6 +41,7 @@ let to_string = function
   | Determinism -> "determinism"
   | Index -> "index"
   | Incremental -> "incremental"
+  | Serve -> "serve"
 
 let of_string s =
   List.find_opt (fun n -> String.equal (to_string n) s) all
@@ -44,6 +57,9 @@ let describe = function
   | Index -> "fast-reject index on and --no-index runs are byte-identical"
   | Incremental ->
       "incremental re-solve after each edit-script step equals from-scratch"
+  | Serve ->
+      "live serve-protocol responses byte-match fresh one-shot runs across \
+       open/solve/expand/hover/explain/profile/reload"
 
 type verdict = Pass | Fail of string
 
@@ -557,6 +573,276 @@ let check_incremental source =
           | Some m -> Fail m
           | None -> go 1 steps))
 
+(* Serve-protocol equivalence.  Drive the generated program through a
+   live in-process server and byte-compare every response payload
+   against fresh scratch runs of the same machinery:
+
+   - cache-OFF scratch for cache-invariant payloads — the rendered
+     check report, proof-tree pages, view lines, and failure
+     narratives must not change with cache warmth (the PR 3
+     invisibility contract);
+   - cache-ON-cold scratch for the journal-derived payloads (explain
+     summary, profile table), whose cache_hit/cache_miss events are
+     part of the stream and match the server's own cold solve.
+
+   Then an edit script reloads printed versions through the session
+   (warm cache, rebased indexes) and re-compares the invariant
+   payloads; a final reload of the unchanged source must be a
+   stamp-equal no-op with an all-zero delta. *)
+let check_serve source =
+  with_cache_state @@ fun () ->
+  let was_fr = Solver.Fast_reject.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Solver.Fast_reject.set_enabled was_fr;
+      Solver.Fast_reject.clear ())
+    (fun () ->
+      let module Json = Argus_json.Json in
+      let module Rpc = Argus_json.Rpc in
+      let ( let* ) = Result.bind in
+      let parse src =
+        match Trait_lang.Resolve.program_of_string ~file:"<serve>" src with
+        | p -> Ok p
+        | exception Parser.Error e -> Error e.message
+        | exception Trait_lang.Resolve.Error e ->
+            Error (Trait_lang.Resolve.error_message e)
+      in
+      match parse source with
+      | Error m -> Fail ("front-end: " ^ m)
+      | Ok p1 ->
+          Solver.Eval_cache.set_enabled true;
+          Solver.Eval_cache.clear ();
+          Solver.Fast_reject.set_enabled true;
+          Solver.Fast_reject.clear ();
+          let server = Serve.Server.create () in
+          let rpc m params =
+            let l =
+              Rpc.request_to_line
+                {
+                  Rpc.rpc_id = Some (Rpc.Int_id 0);
+                  rpc_method = m;
+                  rpc_params =
+                    Some (Json.Obj (("session", Json.String "fuzz") :: params));
+                }
+            in
+            match Serve.Server.handle_line server l with
+            | None -> Error (m ^ ": no response")
+            | Some resp -> (
+                match Rpc.response_of_line resp with
+                | Ok { Rpc.resp_result = Ok v; _ } -> Ok v
+                | Ok { Rpc.resp_result = Error e; _ } ->
+                    Error
+                      (Printf.sprintf "%s: rpc error %d: %s" m e.Rpc.code
+                         e.Rpc.message)
+                | Error e -> Error (m ^ ": bad response frame: " ^ e))
+          in
+          let str_member name v =
+            match Option.bind (Json.member name v) Json.to_string_opt with
+            | Some s -> Ok s
+            | None -> Error (Printf.sprintf "missing `%s` in response" name)
+          in
+          (* Fresh scratch solve + render of [program] with the cache as
+             currently switched; journal normalized like the server's. *)
+          let scratch program =
+            Journal.reset ();
+            Solver.Infer_ctx.reset_snapshot_serial ();
+            let (report, rendered), entries =
+              Journal.with_memory_sink (fun () ->
+                  let report = Solver.Obligations.solve_program program in
+                  (report, Serve.Check_render.run program report))
+            in
+            let entries =
+              List.mapi
+                (fun i (e : Journal.entry) ->
+                  Journal.shift_entry ~seq:i ~ids:0 ~snaps:0
+                    { e with Journal.ts_ns = 0 })
+                entries
+            in
+            (report, fst rendered, entries)
+          in
+          let scratch_off program =
+            Solver.Eval_cache.set_enabled false;
+            let r = scratch program in
+            Solver.Eval_cache.set_enabled true;
+            r
+          in
+          let failing_trees (report : Solver.Obligations.report) =
+            report.reports
+            |> List.filter (fun (r : Solver.Obligations.goal_report) ->
+                   r.status <> Solver.Obligations.Proved)
+            |> List.map Argus.Extract.of_report
+          in
+          let tree_page trees =
+            String.concat ""
+              (List.map
+                 (fun t ->
+                   Argus.Render.tree_to_string
+                     ~direction:Argus.View_state.Bottom_up t
+                   ^ "\n\n")
+                 trees)
+          in
+          (* solve / tree on the live session vs a cache-off scratch of
+             the same program value: these payloads are cache-invariant,
+             so they must match whether the session solved warm or cold *)
+          let check_invariant ~what program =
+            let ref_report, ref_out, _ = scratch_off program in
+            let* solved = rpc "solve" [] in
+            let* out = str_member "output" solved in
+            if not (String.equal out ref_out) then
+              Error (what ^ ": solve output differs from scratch")
+            else
+              let* treed = rpc "tree" [] in
+              let* tree_out = str_member "output" treed in
+              let ref_trees = failing_trees ref_report in
+              if not (String.equal tree_out (tree_page ref_trees)) then
+                Error (what ^ ": tree page differs from scratch")
+              else Ok ref_trees
+          in
+          (* explain/profile payloads are rendered from the journal, and
+             the journal carries cache events (the failure narrative
+             even references their seq numbers) — so compare a COLD
+             session re-solve against a cache-on-cold scratch, both of
+             which record the same miss events *)
+          let check_journal_payloads ~what program =
+            Solver.Eval_cache.clear ();
+            let _, _, cold_entries = scratch program in
+            let* cold_tree =
+              match Journal.replay cold_entries with
+              | Ok t -> Ok t
+              | Error m -> Error (what ^ ": cold scratch replay failed: " ^ m)
+            in
+            let failures_ref = Serve.Explain_render.failures cold_tree in
+            let summary_ref =
+              Serve.Explain_render.summary
+                ~entries:(List.length cold_entries) cold_tree
+            in
+            let profile_ref =
+              Profile.top_table ~top:10 (Profile.of_entries cold_entries)
+            in
+            Solver.Eval_cache.clear ();
+            let* _ = rpc "solve" [] in
+            let* expl_f = rpc "explain" [ ("failures", Json.Bool true) ] in
+            let* failures_out = str_member "output" expl_f in
+            if not (String.equal failures_out failures_ref) then
+              Error
+                (what ^ ": explain --failures differs from cache-on-cold scratch")
+            else
+              let* expl = rpc "explain" [] in
+              let* summary_out = str_member "output" expl in
+              if not (String.equal summary_out summary_ref) then
+                Error
+                  (what ^ ": explain summary differs from cache-on-cold scratch")
+              else
+                let* prof = rpc "profile" [] in
+                let* profile_out = str_member "output" prof in
+                if not (String.equal profile_out profile_ref) then
+                  Error
+                    (what ^ ": profile table differs from cache-on-cold scratch")
+                else Ok ()
+          in
+          let outcome =
+            (* ---- cold session ---- *)
+            let* _ = rpc "open" [ ("source", Json.String source) ] in
+            let* ref_trees = check_invariant ~what:"base" p1 in
+            let* () = check_journal_payloads ~what:"base" p1 in
+            (* ---- seeded expand/hover walk on goal 0 ---- *)
+            let seed = Hashtbl.hash source in
+            let* () =
+                  match ref_trees with
+                  | [] -> Ok ()
+                  | tree :: _ ->
+                      let rec walk k vs =
+                        if k > 5 then Ok ()
+                        else
+                          let rows = Argus.Render.view vs in
+                          let n = List.length rows in
+                          if n = 0 then Ok ()
+                          else
+                            let l = List.nth rows ((seed + (k * 7919)) mod n) in
+                            let verb = if k mod 2 = 0 then "expand" else "hover" in
+                            let vs' =
+                              if l.Argus.Render.node = Argus.Render.others_row
+                              then Argus.View_state.toggle_others vs
+                              else if k mod 2 = 0 then
+                                Argus.View_state.expand vs l.Argus.Render.node
+                              else Argus.View_state.hover vs l.Argus.Render.node
+                            in
+                            let expected =
+                              Json.to_string (Serve.Server.view_json ~goal:0 vs')
+                            in
+                            let* got =
+                              rpc verb [ ("row", Json.Int l.Argus.Render.index) ]
+                            in
+                            if not (String.equal (Json.to_string got) expected)
+                            then
+                              Error
+                                (Printf.sprintf
+                                   "walk step %d (%s row %d) differs from \
+                                    reference view state"
+                                   k verb l.Argus.Render.index)
+                            else walk (k + 1) vs'
+                      in
+                      walk 0 (Argus.View_state.create tree)
+                in
+                (* ---- edit-script reloads through the warm session ---- *)
+                let steps = Edit.script ~seed ~steps:2 p1 in
+                let rec go i last_src = function
+                  | [] -> Ok last_src
+                  | (_, version) :: rest ->
+                      let v_src = Printer.program version in
+                      let* _ =
+                        rpc "reload" [ ("source", Json.String v_src) ]
+                      in
+                      let* vp =
+                        match parse v_src with
+                        | Ok vp -> Ok vp
+                        | Error m ->
+                            Error
+                              (Printf.sprintf
+                                 "step %d: printed version does not re-parse \
+                                  (%s)"
+                                 i m)
+                      in
+                      let* _ =
+                        check_invariant ~what:(Printf.sprintf "step %d" i) vp
+                      in
+                      let* () =
+                        check_journal_payloads
+                          ~what:(Printf.sprintf "step %d" i) vp
+                      in
+                      go (i + 1) v_src rest
+                in
+                let* last_src = go 1 source steps in
+                (* ---- unchanged reload: stamp-equal no-op ---- *)
+                let* reloaded =
+                  rpc "reload" [ ("source", Json.String last_src) ]
+                in
+                let noop =
+                  match Json.member "noop" reloaded with
+                  | Some (Json.Bool b) -> b
+                  | _ -> false
+                in
+                let evicted =
+                  match
+                    Option.bind
+                      (Json.member "delta" reloaded)
+                      (Json.member "evicted")
+                  with
+                  | Some (Json.Int n) -> n
+                  | _ -> -1
+                in
+                if not noop then
+                  Error "unchanged reload is not a stamp-equal no-op"
+                else if evicted <> 0 then
+                  Error
+                    (Printf.sprintf "unchanged reload evicted %d entries"
+                       evicted)
+                else Ok ()
+          in
+          (match outcome with
+          | Ok () -> Pass
+          | Error m -> Fail ("serve: " ^ m)))
+
 let check_determinism source =
   with_cache_state @@ fun () ->
   let e = entry source in
@@ -581,6 +867,7 @@ let check ?pool name ~source =
     | Determinism -> check_determinism source
     | Index -> check_index source
     | Incremental -> check_incremental source
+    | Serve -> check_serve source
   in
   match body () with
   | v -> v

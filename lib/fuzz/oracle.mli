@@ -35,6 +35,15 @@ type name =
           {!Solver.Session}: after every step the incremental re-solve is
           byte-identical (reports, proof trees, diagnostics) to a
           from-scratch cache-off solve of the same program *)
+  | Serve
+      (** drive the program through a live in-process {!Serve.Server}
+          (open → solve → seeded expand/hover walk → explain → profile →
+          edit-script reloads → re-solve) and byte-compare every
+          response payload against fresh scratch runs: cache-off for the
+          cache-invariant payloads (check output, trees, view lines,
+          failure narratives), cache-on-cold for the journal-derived
+          ones (explain summary, profile); an unchanged reload must be a
+          stamp-equal no-op with zero evictions *)
 
 (** All oracles, in campaign execution order ({!Wellformed} first). *)
 val all : name list

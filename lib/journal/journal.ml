@@ -199,6 +199,8 @@ let reset () =
   set_sink None;
   (state ()).id_counter <- 0
 
+let reset_ids () = (state ()).id_counter <- 0
+
 (** Record events into memory while running [f]; the previously
     installed sink (if any) is saved and restored. *)
 let with_memory_sink (f : unit -> 'a) : 'a * entry list =

@@ -123,6 +123,12 @@ val current_node : unit -> int option
     stream is identical whichever domain runs it. *)
 val reset : unit -> unit
 
+(** Restart node IDs from 0 {b without} touching the installed sink —
+    what a long-lived session server needs: each {!Solver.Session}
+    resolve restarts the ID stream (so replays are byte-identical to a
+    one-shot run) while the server's memory sink keeps recording. *)
+val reset_ids : unit -> unit
+
 (** Record events into memory while running [f]; restores the previous
     sink afterwards. *)
 val with_memory_sink : (unit -> 'a) -> 'a * entry list

@@ -1,0 +1,143 @@
+type id = Int_id of int | String_id of string | Null_id
+
+type request = {
+  rpc_id : id option;
+  rpc_method : string;
+  rpc_params : Json.t option;
+}
+
+type error = { code : int; message : string; data : Json.t option }
+type response = { resp_id : id; resp_result : (Json.t, error) result }
+
+let parse_error = -32700
+let invalid_request = -32600
+let method_not_found = -32601
+let invalid_params = -32602
+let unknown_session = -32001
+let load_error = -32002
+let shutting_down = -32003
+let session_exists = -32004
+let not_solved = -32005
+
+let id_to_json = function
+  | Int_id n -> Json.Int n
+  | String_id s -> Json.String s
+  | Null_id -> Json.Null
+
+let id_of_json = function
+  | Json.Int n -> Ok (Int_id n)
+  | Json.String s -> Ok (String_id s)
+  | Json.Null -> Ok Null_id
+  | _ -> Error "id must be a number, string, or null"
+
+let error_obj ?data ~code message = { code; message; data }
+
+let request_of_line line =
+  let invalid msg = Error (error_obj ~code:invalid_request msg) in
+  match Json.of_string line with
+  | exception Json.Parse_error (msg, off) ->
+      Error
+        (error_obj ~code:parse_error
+           (Printf.sprintf "Parse error: %s at offset %d" msg off))
+  | Json.Obj _ as j -> (
+      match Json.member "jsonrpc" j with
+      | Some (Json.String "2.0") -> (
+          match Json.member "method" j with
+          | Some (Json.String m) -> (
+              let params =
+                match Json.member "params" j with
+                | None | Some Json.Null -> Ok None
+                | Some (Json.Obj _ as p) | Some (Json.List _ as p) -> Ok (Some p)
+                | Some _ -> Error ()
+              in
+              match params with
+              | Error () -> invalid "params must be an object or array"
+              | Ok rpc_params -> (
+                  match Json.member "id" j with
+                  | None -> Ok { rpc_id = None; rpc_method = m; rpc_params }
+                  | Some idj -> (
+                      match id_of_json idj with
+                      | Error msg -> invalid msg
+                      | Ok id ->
+                          Ok { rpc_id = Some id; rpc_method = m; rpc_params })))
+          | Some _ -> invalid "method must be a string"
+          | None -> invalid "missing method")
+      | Some _ | None -> invalid "missing jsonrpc: \"2.0\"")
+  | _ -> invalid "request must be an object"
+
+let request_to_json { rpc_id; rpc_method; rpc_params } =
+  let fields = [ ("jsonrpc", Json.String "2.0") ] in
+  let fields =
+    match rpc_id with
+    | None -> fields
+    | Some id -> fields @ [ ("id", id_to_json id) ]
+  in
+  let fields = fields @ [ ("method", Json.String rpc_method) ] in
+  let fields =
+    match rpc_params with None -> fields | Some p -> fields @ [ ("params", p) ]
+  in
+  Json.Obj fields
+
+let request_to_line r = Json.to_string (request_to_json r)
+
+let error_to_json { code; message; data } =
+  let fields =
+    [ ("code", Json.Int code); ("message", Json.String message) ]
+  in
+  let fields =
+    match data with None -> fields | Some d -> fields @ [ ("data", d) ]
+  in
+  Json.Obj fields
+
+let response_to_json { resp_id; resp_result } =
+  let payload =
+    match resp_result with
+    | Ok result -> ("result", result)
+    | Error e -> ("error", error_to_json e)
+  in
+  Json.Obj [ ("jsonrpc", Json.String "2.0"); ("id", id_to_json resp_id); payload ]
+
+let response_to_line r = Json.to_string (response_to_json r)
+
+let response_of_line line =
+  match Json.of_string line with
+  | exception Json.Parse_error (msg, off) ->
+      Error (Printf.sprintf "response parse error: %s at offset %d" msg off)
+  | j -> (
+      match Json.member "jsonrpc" j with
+      | Some (Json.String "2.0") -> (
+          match Json.member "id" j with
+          | None -> Error "response missing id"
+          | Some idj -> (
+              match id_of_json idj with
+              | Error msg -> Error msg
+              | Ok resp_id -> (
+                  match (Json.member "result" j, Json.member "error" j) with
+                  | Some result, None -> Ok { resp_id; resp_result = Ok result }
+                  | None, Some err -> (
+                      match
+                        ( Json.member "code" err,
+                          Json.member "message" err )
+                      with
+                      | Some code, Some msg
+                        when Json.to_int_opt code <> None
+                             && Json.to_string_opt msg <> None ->
+                          Ok
+                            {
+                              resp_id;
+                              resp_result =
+                                Error
+                                  {
+                                    code = Option.get (Json.to_int_opt code);
+                                    message =
+                                      Option.get (Json.to_string_opt msg);
+                                    data = Json.member "data" err;
+                                  };
+                            }
+                      | _ -> Error "malformed error object")
+                  | Some _, Some _ -> Error "response has both result and error"
+                  | None, None -> Error "response has neither result nor error")))
+      | _ -> Error "response missing jsonrpc: \"2.0\"")
+
+let ok id result = { resp_id = id; resp_result = Ok result }
+let fail id e = { resp_id = id; resp_result = Error e }

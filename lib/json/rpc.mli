@@ -1,0 +1,77 @@
+(** JSON-RPC 2.0 framing for [argus serve]: newline-delimited requests
+    and responses over stdio or a socket.  This module is pure
+    (string/JSON in, string/JSON out) — transport and dispatch live in
+    [Serve.Server]; keeping the codec here means the conformance tests
+    and the fuzz oracle exercise exactly the wire format the daemon
+    speaks. *)
+
+(** A request ID.  JSON-RPC allows numbers, strings, and (discouraged)
+    null; requests {e without} an [id] member are notifications and get
+    no response. *)
+type id = Int_id of int | String_id of string | Null_id
+
+type request = {
+  rpc_id : id option;  (** [None] = notification *)
+  rpc_method : string;
+  rpc_params : Json.t option;
+}
+
+type error = { code : int; message : string; data : Json.t option }
+
+type response = {
+  resp_id : id;
+  resp_result : (Json.t, error) result;
+}
+
+(** {1 Error codes}
+
+    The four spec-defined codes plus the server-defined range used by
+    the serve protocol (documented in docs/SERVE.md). *)
+
+val parse_error : int  (** -32700: line was not valid JSON *)
+
+val invalid_request : int  (** -32600: JSON but not a valid request object *)
+
+val method_not_found : int  (** -32601 *)
+
+val invalid_params : int  (** -32602 *)
+
+val unknown_session : int  (** -32001: no session with that name *)
+
+val load_error : int  (** -32002: the source failed to parse/load *)
+
+val shutting_down : int  (** -32003: received after [shutdown] *)
+
+val session_exists : int  (** -32004: [open] with a taken session name *)
+
+val not_solved : int  (** -32005: verb needs a prior [solve] *)
+
+(** {1 Codec} *)
+
+val id_to_json : id -> Json.t
+
+(** Decode one newline-delimited frame.  [Error] carries the error
+    object to answer with: code {!parse_error} for malformed JSON,
+    {!invalid_request} for a JSON value that is not a request object
+    (wrong/missing ["jsonrpc"], non-string ["method"], bad ["id"] or
+    ["params"] type).  Per spec, a parse/invalid-request response has
+    id [Null_id]. *)
+val request_of_line : string -> (request, error) result
+
+val request_to_json : request -> Json.t
+
+(** Compact one-line rendering, ready to write followed by ['\n']. *)
+val request_to_line : request -> string
+
+val error_obj : ?data:Json.t -> code:int -> string -> error
+val response_to_json : response -> Json.t
+val response_to_line : response -> string
+
+(** Decode a response frame (used by the load generator, oracle, and
+    tests to read the server's answers back).  [Error] is a human
+    message — a malformed response is a server bug, not a protocol
+    condition. *)
+val response_of_line : string -> (response, string) result
+
+val ok : id -> Json.t -> response
+val fail : id -> error -> response

@@ -47,6 +47,8 @@ let sections =
     ("scale", "impls", [ "ns_per_goal_on"; "ns_per_goal_off" ]);
     (* absent from pre-v7 baselines, tolerated the same way *)
     ("incremental", "name", [ "ns_scratch"; "ns_incr" ]);
+    (* absent from pre-v8 baselines, tolerated the same way *)
+    ("serve", "name", [ "p50_ns"; "p99_ns" ]);
   ]
 
 let number_opt = function

@@ -1,0 +1,26 @@
+(** The [argus check] report renderer, factored out of the CLI so the
+    serve protocol's [solve] verb produces byte-identical output: both
+    call {!run} on the same program/report pair, so equivalence is by
+    construction rather than by parallel maintenance of two printers.
+
+    The rendering order is part of the journal contract: callers that
+    record events must run the solve {e and} this renderer inside one
+    sink window (the type-checking pass at the end generates obligations
+    that solve — and journal — through the same machinery). *)
+
+(** [run program report] renders coherence errors (E0119/E0117/E0277),
+    per-goal status lines with rustc-style diagnostics for failures, and
+    the function-body type-check report (E0308/E0599 plus obligations).
+    Returns the buffered output and the issue count ([argus check] exits
+    1 when it is non-zero).
+
+    [no_coherence] skips the declaration-level checks.
+    [profile_pipeline] additionally exercises the Argus ranking and
+    rendering pipeline on failing goals so [--profile] telemetry covers
+    those phases; output is unchanged. *)
+val run :
+  ?no_coherence:bool ->
+  ?profile_pipeline:bool ->
+  Trait_lang.Program.t ->
+  Solver.Obligations.report ->
+  string * int

@@ -1,0 +1,21 @@
+(** The [argus explain] narrative renderer, factored out of the CLI so
+    the serve protocol's [explain] verb produces byte-identical output
+    for the same replayed journal.
+
+    [prof] (from {!Profile.of_entries} on a journal with real
+    timestamps) adds the [--timings] wall-time annotations; omit it for
+    plain output. *)
+
+(** The default overview: the header line ([journal: N events, ...]),
+    one line per root goal, and the drill-down hint when there are
+    failed leaves.  [entries] is the count of journal entries (the
+    replay tree does not retain it). *)
+val summary : ?prof:Profile.t -> entries:int -> Journal.replay_tree -> string
+
+(** The [--failures] narrative: every failed leaf goal under each root,
+    with its rejecting candidates. *)
+val failures : ?prof:Profile.t -> Journal.replay_tree -> string
+
+(** The [--node ID] drill-down for a goal or candidate node.  [Error]
+    carries the CLI's no-such-node message. *)
+val node : ?prof:Profile.t -> Journal.replay_tree -> int -> (string, string) result

@@ -82,14 +82,16 @@ let load = edit
 
 (** Re-solve the current program.  Resets the journal-ID and snapshot
     counters first so the gid stream matches a from-scratch run — cache
-    replay then reproduces it bit-for-bit. *)
+    replay then reproduces it bit-for-bit.  The installed journal sink
+    (if any) is left in place, so a session server can record the
+    resolve through {!Journal.with_memory_sink}. *)
 let resolve t : Obligations.report =
   match t.program with
   | None -> invalid_arg "Session.resolve: no program loaded"
   | Some program ->
       Telemetry.incr c_resolves;
       Eval_cache.reset_dep_scopes ();
-      Journal.reset ();
+      Journal.reset_ids ();
       Infer_ctx.reset_snapshot_serial ();
       let report = Obligations.solve_program ~cfg:t.cfg program in
       t.report <- Some report;

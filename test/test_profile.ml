@@ -343,6 +343,51 @@ let test_diff_incremental_section_tolerated () =
        (fun r -> Profile.Bench_diff.(r.r_section ^ "/" ^ r.r_name ^ "/" ^ r.r_metric))
        rep.Profile.Bench_diff.regressions)
 
+(* Same tolerance story for the v8 serve section: a document that grew
+   serve latency rows diffs clean against a pre-v8 baseline (added,
+   never regressed), and a serve-on-both-sides slowdown is still a
+   regression. *)
+let test_diff_serve_section_tolerated () =
+  let serve_doc p99 =
+    match pipeline_doc base_entries with
+    | Argus_json.Json.Obj fields ->
+        Argus_json.Json.Obj
+          (fields
+          @ [
+              ( "serve",
+                Argus_json.Json.List
+                  [
+                    Argus_json.Json.Obj
+                      [
+                        ("name", Argus_json.Json.String "serve-j1");
+                        ("p50_ns", Argus_json.Json.Int 40_000);
+                        ("p99_ns", Argus_json.Json.Int p99);
+                      ];
+                  ] );
+            ])
+    | j -> j
+  in
+  let old_doc = pipeline_doc base_entries in
+  let new_doc = serve_doc 900_000 in
+  let rep = Profile.Bench_diff.diff ~old_doc ~new_doc () in
+  Alcotest.(check bool) "verdict is Pass" true
+    (rep.Profile.Bench_diff.verdict = Profile.Bench_diff.Pass);
+  Alcotest.(check (list string)) "serve metrics surface as added"
+    [ "serve/serve-j1/p50_ns"; "serve/serve-j1/p99_ns" ]
+    rep.Profile.Bench_diff.added;
+  (* on both sides: a 3x slower p99 fails the gate *)
+  let rep =
+    Profile.Bench_diff.diff ~old_doc:(serve_doc 900_000) ~new_doc:(serve_doc 2_700_000)
+      ()
+  in
+  Alcotest.(check bool) "serve regression caught" true
+    (rep.Profile.Bench_diff.verdict = Profile.Bench_diff.Regression);
+  Alcotest.(check (list string)) "exactly the p99 metric regressed"
+    [ "serve/serve-j1/p99_ns" ]
+    (List.map
+       (fun r -> Profile.Bench_diff.(r.r_section ^ "/" ^ r.r_name ^ "/" ^ r.r_metric))
+       rep.Profile.Bench_diff.regressions)
+
 let test_diff_rejects_foreign_schema () =
   let doc = pipeline_doc base_entries in
   let bad = Argus_json.Json.Obj [ ("schema", Argus_json.Json.String "other/v1") ] in
@@ -534,6 +579,8 @@ let () =
             test_diff_tracks_missing_and_added;
           Alcotest.test_case "scale section tolerated" `Quick
             test_diff_scale_section_tolerated;
+          Alcotest.test_case "serve section tolerated" `Quick
+            test_diff_serve_section_tolerated;
           Alcotest.test_case "incremental section tolerated" `Quick
             test_diff_incremental_section_tolerated;
           Alcotest.test_case "foreign schema rejected" `Quick
